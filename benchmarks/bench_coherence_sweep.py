@@ -1,0 +1,65 @@
+"""Ablation B: coherence-policy sweep beyond the paper's {0, 500, 1000}.
+
+DESIGN.md calls out the flush policy as the knob behind Figure 7's
+groups 2/3; this sweep adds tighter and looser count limits, a
+time-driven policy (which the paper's coherence layer explicitly
+supports), and full write-through, measuring mean send latency for the
+San Diego deployment with 3 clients.
+
+Expected monotonicity: write_through >> count:250 > count:500 >
+count:1000 > count:2000 > never.
+"""
+
+import pytest
+
+from repro.experiments import SCENARIOS, ScenarioDef, run_scenario
+
+POLICIES = (
+    "never",
+    "count:2000",
+    "count:1000",
+    "count:500",
+    "count:250",
+    "time:2000",
+    "write_through",
+)
+
+
+def scenario_for(policy: str) -> ScenarioDef:
+    return ScenarioDef(
+        name=f"DS[{policy}]",
+        site="sandiego",
+        dynamic=True,
+        flush_policy=policy,
+        description=f"dynamic SD deployment, policy {policy}",
+    )
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_coherence_policy_sweep(benchmark, policy, report_lines):
+    result = benchmark.pedantic(
+        lambda: run_scenario(scenario_for(policy), 3), rounds=1, iterations=1
+    )
+    assert not result.errors
+    benchmark.extra_info["policy"] = policy
+    benchmark.extra_info["mean_send_ms"] = round(result.mean_send_ms, 2)
+    benchmark.extra_info["syncs"] = result.coherence_syncs
+    report_lines.append(
+        f"Ablation B policy={policy:13s}: send={result.mean_send_ms:9.2f} ms "
+        f"syncs={result.coherence_syncs}"
+    )
+
+
+def test_policy_ordering_monotone(report_lines):
+    means = {
+        p: run_scenario(scenario_for(p), 3).mean_send_ms
+        for p in ("never", "count:2000", "count:1000", "count:500", "count:250",
+                  "write_through")
+    }
+    assert means["never"] < means["count:2000"]
+    assert means["count:2000"] < means["count:1000"] < means["count:500"] < means["count:250"]
+    assert means["count:250"] < means["write_through"]
+    report_lines.append(
+        "Ablation B ordering: never < count:2000 < count:1000 < count:500 "
+        "< count:250 < write_through  ✓"
+    )

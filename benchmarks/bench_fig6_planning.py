@@ -1,0 +1,31 @@
+"""Figure 6: the planner's deployments for the three sites.
+
+Benchmarks the wall time of computing all three site deployments (the
+paper's planning step 4) per algorithm, asserting the resulting chains
+match the figure.
+"""
+
+import pytest
+
+from repro.experiments import EXPECTED_CHAINS, run_fig6
+
+
+@pytest.mark.parametrize("algorithm", ["exhaustive", "dp_chain", "partial_order"])
+def test_fig6_deployments(benchmark, algorithm, report_lines):
+    deployments = benchmark.pedantic(
+        lambda: run_fig6(algorithm=algorithm), rounds=1, iterations=1
+    )
+    for site, result in deployments.items():
+        units = [u for u, _ in result.chain]
+        expected_units = [u for u, _ in EXPECTED_CHAINS[site]]
+        assert units == expected_units, f"{algorithm}/{site}: {units}"
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["chains"] = {
+        site: " -> ".join(f"{u}@{s}" for u, s in r.chain)
+        for site, r in deployments.items()
+    }
+    report_lines.append(f"Fig6 [{algorithm}]: all three site chains match the paper")
+    for site, r in deployments.items():
+        report_lines.append(
+            f"  {site:9s}: " + " -> ".join(f"{u}({s[:3]})" for u, s in r.chain)
+        )

@@ -1,0 +1,50 @@
+"""Figure 7: average client-perceived send latencies, nine scenarios,
+1-5 clients.
+
+Each benchmark runs one scenario's full five-point series on the
+simulator (wall time is the cost of regenerating that figure column);
+the reproduced series — the paper's y-values, in simulated ms — lands in
+``extra_info`` and the session report.
+
+Expected shape (paper §4.2): four groups, best first —
+{SF, SS0, DF, DS0} < {SS1000, DS1000} < {SS500, DS500} << {SS}.
+"""
+
+import pytest
+
+from repro.experiments import SCENARIOS, run_scenario
+
+CLIENT_COUNTS = (1, 2, 3, 4, 5)
+
+
+@pytest.mark.parametrize("scenario", list(SCENARIOS))
+def test_fig7_scenario_series(benchmark, scenario, report_lines):
+    def run_series():
+        return [run_scenario(scenario, k) for k in CLIENT_COUNTS]
+
+    results = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    series = [round(r.mean_send_ms, 2) for r in results]
+    benchmark.extra_info["scenario"] = scenario
+    benchmark.extra_info["clients"] = list(CLIENT_COUNTS)
+    benchmark.extra_info["mean_send_ms"] = series
+    benchmark.extra_info["description"] = SCENARIOS[scenario].description
+    report_lines.append(
+        f"Fig7 {scenario:7s} send-ms @1..5 clients: "
+        + "  ".join(f"{v:8.2f}" for v in series)
+    )
+    for r in results:
+        assert not r.errors
+
+
+def test_fig7_groups_hold(report_lines):
+    """The paper's grouping, checked on the 5-client column."""
+    means = {name: run_scenario(name, 5).mean_send_ms for name in SCENARIOS}
+    g1 = max(means[n] for n in ("SF", "SS0", "DF", "DS0"))
+    g2 = [means[n] for n in ("SS1000", "DS1000")]
+    g3 = [means[n] for n in ("SS500", "DS500")]
+    g4 = means["SS"]
+    assert g1 < min(g2) and max(g2) < min(g3) and max(g3) < g4
+    report_lines.append(
+        f"Fig7 groups @5 clients: G1<={g1:.2f} < G2=[{min(g2):.2f},{max(g2):.2f}] "
+        f"< G3=[{min(g3):.2f},{max(g3):.2f}] < SS={g4:.2f}  (ms)"
+    )

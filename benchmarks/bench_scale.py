@@ -1,0 +1,38 @@
+"""Scale benchmark: the full framework path as client count grows.
+
+Wall-clock cost of binding N dynamic clients at San Diego and running
+their workloads — shows the simulator + planner + runtime substrate
+scaling behavior rather than any paper figure.
+"""
+
+import pytest
+
+from repro.experiments import run_scenario
+
+
+@pytest.mark.parametrize("n_clients", [1, 3, 5])
+def test_dynamic_scenario_scale(benchmark, n_clients, report_lines):
+    result = benchmark.pedantic(
+        lambda: run_scenario("DS500", n_clients), rounds=1, iterations=1
+    )
+    assert not result.errors
+    benchmark.extra_info["n_clients"] = n_clients
+    benchmark.extra_info["mean_send_ms"] = round(result.mean_send_ms, 2)
+    report_lines.append(
+        f"Scale: DS500 with {n_clients} clients -> "
+        f"send {result.mean_send_ms:.2f} ms, {result.coherence_syncs} syncs"
+    )
+
+
+def test_many_messages_throughput(benchmark, report_lines):
+    """1000 sends through the deployed chain: simulator throughput."""
+
+    def run():
+        return run_scenario("DS0", 1, n_sends=1000, n_receives=0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not result.errors
+    assert result.mean_send_ms < 5.0
+    report_lines.append(
+        f"Scale: 1000 sends, mean {result.mean_send_ms:.2f} ms each (simulated)"
+    )

@@ -1,0 +1,47 @@
+"""Substrate benchmark: trust-engine role-closure scaling.
+
+The §6 design has the planner querying role closures for every node and
+path environment, so closure computation over long delegation chains and
+large credential stores must stay cheap.
+"""
+
+import pytest
+
+from repro.trust import TrustEngine
+
+
+def build_engine(n_subjects: int, chain_length: int) -> TrustEngine:
+    engine = TrustEngine()
+    engine.register_authority("net", "net-admin")
+    engine.register_authority("svc", "svc-owner")
+    for i in range(n_subjects):
+        engine.attribute(f"node{i}", f"net.level{i % 5}")
+    # Delegation chains: level k -> hop1 -> ... -> svc.prop
+    for k in range(5):
+        prev = f"net.level{k}"
+        for hop in range(chain_length):
+            nxt = f"svc.l{k}h{hop}"
+            engine.delegate(prev, nxt)
+            prev = nxt
+        engine.delegate(prev, f"svc.Prop={k}")
+    return engine
+
+
+@pytest.mark.parametrize("n_subjects,chain_length", [(50, 3), (200, 6), (500, 10)])
+def test_role_closure_scaling(benchmark, n_subjects, chain_length, report_lines):
+    engine = build_engine(n_subjects, chain_length)
+
+    def closure_all():
+        return sum(len(engine.roles_of(f"node{i}")) for i in range(0, n_subjects, 7))
+
+    total = benchmark(closure_all)
+    assert total > 0
+    benchmark.extra_info["n_subjects"] = n_subjects
+    benchmark.extra_info["chain_length"] = chain_length
+
+
+def test_chain_discovery(benchmark):
+    engine = build_engine(100, 8)
+    chain = benchmark(lambda: engine.chain("node1", "svc.Prop=1"))
+    assert chain is not None
+    assert len(chain) == 10  # attribution + 8 hops + final delegation

@@ -1,0 +1,105 @@
+"""Ablation C: QoS crossover — where placement decisions flip.
+
+Sweeps the WAN bandwidth of the video service's studio-edge link and
+records the planner's decision at each point.  Three regimes with two
+crossovers, both analytically predictable from the spec constants —
+each bound is the *max* of a condition-2 (QoS property) and a
+condition-3 (traffic load) constraint:
+
+- viewer-side Packager needs raw frames over the WAN: QoS floor
+  ``CLIENT_MIN_FPS * RAW_MBPS_PER_FPS`` (9.6 Mb/s) and load floor
+  ``rate * raw_bytes`` (~12.0 Mb/s at 30 req/s) — so the flip sits at
+  ~12.0 Mb/s;
+- any deployment needs compressed frames over the WAN: QoS floor
+  0.96 Mb/s and load floor ~1.23 Mb/s — infeasible below ~1.23 Mb/s.
+"""
+
+import pytest
+
+from repro.network import Network
+from repro.planner import Planner, PlanningError, PlanRequest
+from repro.services.video import (
+    CLIENT_MIN_FPS,
+    COMPRESSED_MBPS_PER_FPS,
+    RAW_MBPS_PER_FPS,
+    build_video_spec,
+    video_translator,
+)
+
+_spec = build_video_spec()
+_rate = _spec.unit("VideoClient").behaviors.request_rate
+_client_b = _spec.unit("VideoClient").behaviors
+_packager_b = _spec.unit("Packager").behaviors
+_cache_rrf = _spec.unit("ViewVideoSource").behaviors.rrf
+
+#: load of the compressed stream at full request rate, Mb/s
+COMPRESSED_LOAD = _rate * (_client_b.bytes_per_request + _client_b.bytes_per_response) * 8 / 1e6
+#: load of the raw stream at full request rate, Mb/s (uncached / cached)
+RAW_LOAD = _rate * (_packager_b.bytes_per_request + _packager_b.bytes_per_response) * 8 / 1e6
+RAW_LOAD_CACHED = RAW_LOAD * _cache_rrf
+
+#: below this, even the compressed stream cannot cross the WAN
+COMPRESSED_CROSSOVER = max(CLIENT_MIN_FPS * COMPRESSED_MBPS_PER_FPS, COMPRESSED_LOAD)
+#: above this, raw frames satisfy the QoS rule; the *load* constraint is
+#: then met either directly (bw >= RAW_LOAD) or by co-deploying the
+#: cache view (bw >= RAW_LOAD_CACHED = 3.6 Mb/s, always true here)
+RAW_CROSSOVER = CLIENT_MIN_FPS * RAW_MBPS_PER_FPS
+
+SWEEP = (0.5, 0.9, 1.2, 1.3, 2.0, 4.0, 8.0, 9.5, 9.7, 11.9, 12.1, 40.0)
+
+
+def plan_at(wan_mbps: float):
+    net = Network()
+    net.add_node("studio", cpu_capacity=4000,
+                 credentials={"source_site": True, "popularity": 1})
+    net.add_node("home", cpu_capacity=1000,
+                 credentials={"source_site": False, "popularity": 4})
+    net.add_link("studio", "home", latency_ms=50.0, bandwidth_mbps=wan_mbps)
+    planner = Planner(build_video_spec(), net, video_translator(),
+                      algorithm="exhaustive")
+    planner.preinstall("VideoSource", "studio")
+    try:
+        return planner.plan(PlanRequest("ViewerInterface", "home", max_units=4))
+    except PlanningError:
+        return None
+
+
+def regime_of(plan) -> str:
+    if plan is None:
+        return "infeasible"
+    packager = next(p for p in plan.placements if p.unit == "Packager")
+    cached = any(p.unit == "ViewVideoSource" for p in plan.placements)
+    side = "studio" if packager.node == "studio" else "home"
+    return f"packager@{side}" + ("+cache" if cached else "")
+
+
+def test_video_bandwidth_crossovers(benchmark, report_lines):
+    def sweep():
+        return {bw: regime_of(plan_at(bw)) for bw in SWEEP}
+
+    regimes = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Regime boundaries land where the spec constants predict.
+    for bw, regime in regimes.items():
+        if bw < COMPRESSED_CROSSOVER:
+            assert regime == "infeasible", (bw, regime)
+        elif bw < RAW_CROSSOVER:
+            assert regime.startswith("packager@studio"), (bw, regime)
+        else:
+            assert regime != "infeasible", (bw, regime)
+            # In the band where raw QoS holds but the uncached raw load
+            # would not fit, viewer-side placement is only legal with the
+            # cache view absorbing RRF of the traffic.
+            if bw < RAW_LOAD and regime.startswith("packager@home"):
+                assert regime.endswith("+cache"), (bw, regime)
+    benchmark.extra_info["regimes"] = regimes
+    benchmark.extra_info["predicted_crossovers_mbps"] = [
+        COMPRESSED_CROSSOVER, RAW_CROSSOVER, RAW_LOAD,
+    ]
+    report_lines.append(
+        "Ablation C video crossover: infeasible < "
+        f"{COMPRESSED_CROSSOVER:.2f} Mb/s <= packager@studio < "
+        f"{RAW_CROSSOVER:.2f} Mb/s <= packager@home (cache-assisted until "
+        f"{RAW_LOAD:.2f} Mb/s)  ✓"
+    )
+    for bw in SWEEP:
+        report_lines.append(f"  WAN {bw:5.1f} Mb/s -> {regimes[bw]}")

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The paper's full case study (§4): Figures 5, 6, 7 and the one-time
+costs, reproduced end to end.
+
+Run with::
+
+    python examples/mail_case_study.py            # full Figure 7 sweep
+    python examples/mail_case_study.py --quick    # 1 and 5 clients only
+"""
+
+import argparse
+
+from repro.experiments import (
+    EXPECTED_CHAINS,
+    SCENARIOS,
+    build_fig5_network,
+    fig7_series,
+    format_cost_table,
+    format_fig7_table,
+    measure_onetime_costs,
+    run_fig6,
+)
+
+
+def show_fig5() -> None:
+    print("=" * 72)
+    print("Figure 5 — network topology for the mail service case study")
+    print("=" * 72)
+    topo = build_fig5_network(clients_per_site=2)
+    for link in topo.network.links():
+        kind = "secure" if link.secure else "INSECURE"
+        print(
+            f"  {link.a:18s} <-> {link.b:18s} "
+            f"{link.latency_ms:6.0f} ms {link.bandwidth_mbps:6.0f} Mb/s  {kind}"
+        )
+    for site, gw in topo.gateways.items():
+        trust = topo.network.node(gw).credentials["trust_level"]
+        print(f"  site {site:9s}: trust level {trust}")
+
+
+def show_fig6() -> None:
+    from repro.viz import render_deployment
+
+    print()
+    print("=" * 72)
+    print("Figure 6 — dynamically deployed components")
+    print("=" * 72)
+    deployments = run_fig6(algorithm="exhaustive")
+    for site, result in deployments.items():
+        status = "MATCHES the paper" if result.matches_paper else "DIFFERS"
+        print(f"  client in {site} ({status}):")
+        print("    " + " -> ".join(f"{u}@{s}" for u, s in result.chain))
+    print()
+    topo = build_fig5_network(clients_per_site=2)
+    print(render_deployment(topo.network, [d.plan for d in deployments.values()]))
+
+
+def show_fig7(quick: bool) -> None:
+    print()
+    print("=" * 72)
+    print("Figure 7 — average client-perceived send latencies (simulated ms)")
+    print("=" * 72)
+    counts = (1, 5) if quick else (1, 2, 3, 4, 5)
+    series = fig7_series(client_counts=counts)
+    print(format_fig7_table(series))
+    print()
+    print("  expected grouping: {SF,SS0,DF,DS0} < {SS1000,DS1000} "
+          "< {SS500,DS500} << {SS}")
+
+
+def show_costs() -> None:
+    print()
+    print("=" * 72)
+    print("§4.2 — one-time costs (proxy download, planning, deployment)")
+    print("=" * 72)
+    print(format_cost_table(measure_onetime_costs()))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer client counts")
+    args = parser.parse_args()
+    show_fig5()
+    show_fig6()
+    show_fig7(args.quick)
+    show_costs()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's artifacts or validate user specs:
+
+- ``fig5``      — print the case-study topology
+- ``fig6``      — plan and print the three site deployments
+- ``fig7``      — run the nine-scenario latency sweep
+- ``costs``     — the §4.2 one-time cost breakdown
+- ``chains``    — enumerate Figure 3's valid linkage chains
+- ``validate``  — parse + validate a service spec file (readable or XML)
+- ``plan``      — plan the mail service for a client at a given site
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    from .experiments import build_fig5_network
+
+    topo = build_fig5_network(clients_per_site=args.clients)
+    print(f"Figure 5 topology: {len(topo.network)} nodes, "
+          f"{topo.network.n_links} links")
+    for link in topo.network.links():
+        kind = "secure " if link.secure else "INSECURE"
+        print(f"  {link.a:18s} <-> {link.b:18s} {link.latency_ms:6.0f} ms "
+              f"{link.bandwidth_mbps:6.0f} Mb/s  {kind}")
+    return 0
+
+
+def cmd_fig6(args: argparse.Namespace) -> int:
+    from .experiments import build_fig5_network, run_fig6
+
+    deployments = run_fig6(algorithm=args.algorithm)
+    for site, result in deployments.items():
+        status = "matches the paper" if result.matches_paper else "DIFFERS"
+        print(f"{site} ({status}):")
+        print("  " + " -> ".join(f"{u}@{s}" for u, s in result.chain))
+    if args.draw:
+        from .viz import render_deployment
+
+        topo = build_fig5_network(clients_per_site=2)
+        print()
+        print(render_deployment(topo.network, [d.plan for d in deployments.values()]))
+    return 0
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    from .experiments import fig7_series, format_fig7_table
+
+    counts = tuple(range(1, args.max_clients + 1))
+    series = fig7_series(client_counts=counts, scenarios=args.scenarios or None)
+    print(format_fig7_table(series))
+    return 0
+
+
+def cmd_costs(args: argparse.Namespace) -> int:
+    from .experiments import format_cost_table, measure_onetime_costs
+
+    print(format_cost_table(measure_onetime_costs()))
+    return 0
+
+
+def cmd_chains(args: argparse.Namespace) -> int:
+    from .planner import valid_chains
+    from .services.mail import build_mail_spec
+
+    chains = valid_chains(
+        build_mail_spec(), args.interface, max_units=args.max_units, max_repeat=2
+    )
+    for chain in chains:
+        print("  " + " -> ".join(chain))
+    print(f"({len(chains)} valid chains)")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .spec import SpecError, from_xml, parse_service
+
+    text = open(args.file).read()
+    try:
+        if text.lstrip().startswith("<Service") and 'name="' in text[:200]:
+            spec = from_xml(text)
+        else:
+            spec = parse_service(text)
+    except SpecError as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {spec}")
+    for unit in spec.units():
+        kind = "view" if unit.is_view else "component"
+        print(f"  {kind:9s} {unit.name}: implements "
+              f"{[b.interface for b in unit.implements]}, requires "
+              f"{[b.interface for b in unit.requires]}")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from .experiments.topology_fig5 import build_fig5_network
+    from .planner import Planner, PlanningError, PlanRequest
+    from .services.mail import build_mail_spec, mail_translator
+
+    topo = build_fig5_network(clients_per_site=2)
+    planner = Planner(
+        build_mail_spec(), topo.network, mail_translator(), algorithm=args.algorithm
+    )
+    planner.preinstall("MailServer", topo.server_node)
+    node = topo.clients[args.site][0]
+    try:
+        plan = planner.plan(
+            PlanRequest("ClientInterface", node, context={"User": args.user})
+        )
+    except PlanningError as exc:
+        print(f"no valid deployment: {exc}", file=sys.stderr)
+        return 1
+    print(plan.describe())
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Partitionable-services reproduction (HPDC 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig5", help="print the case-study topology")
+    p.add_argument("--clients", type=int, default=2)
+    p.set_defaults(fn=cmd_fig5)
+
+    p = sub.add_parser("fig6", help="plan the three site deployments")
+    p.add_argument("--algorithm", default="exhaustive",
+                   choices=["exhaustive", "dp_chain", "partial_order"])
+    p.add_argument("--draw", action="store_true",
+                   help="render the Figure 6 deployment picture")
+    p.set_defaults(fn=cmd_fig6)
+
+    p = sub.add_parser("fig7", help="run the latency scenario sweep")
+    p.add_argument("--max-clients", type=int, default=5)
+    p.add_argument("--scenarios", nargs="*", default=None)
+    p.set_defaults(fn=cmd_fig7)
+
+    p = sub.add_parser("costs", help="one-time cost breakdown (§4.2)")
+    p.set_defaults(fn=cmd_costs)
+
+    p = sub.add_parser("chains", help="enumerate valid linkage chains (Fig 3)")
+    p.add_argument("--interface", default="ClientInterface")
+    p.add_argument("--max-units", type=int, default=6)
+    p.set_defaults(fn=cmd_chains)
+
+    p = sub.add_parser("validate", help="validate a service spec file")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("plan", help="plan the mail service for one client")
+    p.add_argument("--site", default="sandiego",
+                   choices=["newyork", "sandiego", "seattle"])
+    p.add_argument("--user", default="Bob")
+    p.add_argument("--algorithm", default="exhaustive",
+                   choices=["exhaustive", "dp_chain", "partial_order"])
+    p.set_defaults(fn=cmd_plan)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""Directory-based cache coherence at view granularity (paper §3.2)."""
+
+from .conflicts import AttributeConflictMap, ConflictMap, Update, ViewConfig
+from .directory import CoherenceDirectory, CoherenceStats, ReplicaEntry
+from .policies import (
+    CountPolicy,
+    FlushPolicy,
+    NeverPolicy,
+    TimePolicy,
+    WriteThroughPolicy,
+    policy_from_name,
+)
+
+__all__ = [
+    "CoherenceDirectory",
+    "CoherenceStats",
+    "ReplicaEntry",
+    "ConflictMap",
+    "AttributeConflictMap",
+    "Update",
+    "ViewConfig",
+    "FlushPolicy",
+    "NeverPolicy",
+    "CountPolicy",
+    "TimePolicy",
+    "WriteThroughPolicy",
+    "policy_from_name",
+]

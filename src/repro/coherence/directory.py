@@ -1,0 +1,191 @@
+"""Directory-based cache coherence at view granularity (paper §3.2).
+
+"Smock manages replicated component instances using a directory-based
+cache coherence protocol.  The protocol maintains object consistency at
+the granularity of views."
+
+The directory tracks, per *family* (an original component such as
+``MailServer``), the primary instance and every replica (view
+configurations such as ``ViewMailServer[TrustLevel=3]``).  Replicas
+buffer local updates; flush policies decide when a replica must
+reconcile with its upstream (the communication itself is performed by
+the replica component over its planned linkage, so coherence traffic
+crosses exactly the links the planner selected — including any
+Encryptor/Decryptor pairs).  On reconciliation the directory consults
+the conflict map and delivers invalidations to the other replicas whose
+configurations conflict with the propagated updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Tuple
+
+from .conflicts import ConflictMap, Update, ViewConfig
+from .policies import FlushPolicy, NeverPolicy
+
+__all__ = ["CoherenceDirectory", "ReplicaEntry", "CoherenceStats", "ReplicaHost"]
+
+
+class ReplicaHost(Protocol):
+    """What the directory needs from a replica component instance."""
+
+    def on_invalidate(self, updates: List[Update]) -> None:
+        """Mark state stale following a conflicting remote update."""
+        ...
+
+
+@dataclass
+class CoherenceStats:
+    """Aggregate protocol counters (reported by the benchmarks)."""
+
+    local_updates: int = 0
+    buffered_units: int = 0
+    syncs: int = 0
+    messages_propagated: int = 0
+    bytes_propagated: int = 0
+    invalidations: int = 0
+
+
+@dataclass
+class ReplicaEntry:
+    """Directory record for one replica."""
+
+    replica_id: int
+    family: str
+    config: ViewConfig
+    host: Any
+    policy: FlushPolicy
+    pending: List[Update] = field(default_factory=list)
+    pending_units: int = 0
+    last_flush_ms: float = 0.0
+    stale_keys: set = field(default_factory=set)
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.pending)
+
+
+class CoherenceDirectory:
+    """The coherence module of the Smock runtime."""
+
+    def __init__(self, conflict_map: Optional[ConflictMap] = None) -> None:
+        self.conflict_map = conflict_map or ConflictMap()
+        self._primaries: Dict[str, Any] = {}
+        self._replicas: Dict[int, ReplicaEntry] = {}
+        self._by_family: Dict[str, List[int]] = {}
+        self._next_id = 0
+        self.stats = CoherenceStats()
+
+    # -- registration -------------------------------------------------------
+    def register_primary(self, family: str, host: Any) -> None:
+        """Record the authoritative instance of a component family."""
+        self._primaries[family] = host
+
+    def primary_of(self, family: str) -> Optional[Any]:
+        return self._primaries.get(family)
+
+    def register_replica(
+        self,
+        family: str,
+        config: ViewConfig,
+        host: Any,
+        policy: Optional[FlushPolicy] = None,
+        now_ms: float = 0.0,
+    ) -> ReplicaEntry:
+        """Add a replica (view instance) to the directory."""
+        entry = ReplicaEntry(
+            replica_id=self._next_id,
+            family=family,
+            config=config,
+            host=host,
+            policy=policy or NeverPolicy(),
+            last_flush_ms=now_ms,
+        )
+        self._next_id += 1
+        self._replicas[entry.replica_id] = entry
+        self._by_family.setdefault(family, []).append(entry.replica_id)
+        return entry
+
+    def unregister_replica(self, replica_id: int) -> None:
+        entry = self._replicas.pop(replica_id, None)
+        if entry is not None:
+            self._by_family[entry.family].remove(replica_id)
+
+    def replicas_of(self, family: str) -> List[ReplicaEntry]:
+        return [self._replicas[i] for i in self._by_family.get(family, ())]
+
+    def entry(self, replica_id: int) -> ReplicaEntry:
+        return self._replicas[replica_id]
+
+    # -- update path ------------------------------------------------------------
+    def on_local_update(self, replica_id: int, update: Update, now_ms: float) -> bool:
+        """Buffer a local update; True if the replica must reconcile now."""
+        entry = self._replicas[replica_id]
+        entry.pending.append(update)
+        entry.pending_units += update.multiplicity
+        self.stats.local_updates += 1
+        self.stats.buffered_units += update.multiplicity
+        return entry.policy.should_flush(entry.pending_units, now_ms, entry.last_flush_ms)
+
+    def needs_flush(self, replica_id: int, now_ms: float) -> bool:
+        """Poll hook for time-driven policies (coherence daemons)."""
+        entry = self._replicas[replica_id]
+        return entry.dirty and entry.policy.should_flush(
+            entry.pending_units, now_ms, entry.last_flush_ms
+        )
+
+    def drain(self, replica_id: int) -> Tuple[List[Update], int]:
+        """Take the pending batch for propagation; returns (batch, units)."""
+        entry = self._replicas[replica_id]
+        batch, units = entry.pending, entry.pending_units
+        entry.pending = []
+        entry.pending_units = 0
+        return batch, units
+
+    def record_flush(self, replica_id: int, now_ms: float, batch: List[Update]) -> None:
+        """Bookkeeping after a successful upstream reconciliation."""
+        entry = self._replicas[replica_id]
+        entry.last_flush_ms = now_ms
+        self.stats.syncs += 1
+        self.stats.messages_propagated += sum(u.multiplicity for u in batch)
+        self.stats.bytes_propagated += sum(u.size_bytes for u in batch)
+
+    def requeue(self, replica_id: int, batch: List[Update]) -> None:
+        """Put a batch back after a failed propagation attempt."""
+        entry = self._replicas[replica_id]
+        entry.pending = batch + entry.pending
+        entry.pending_units += sum(u.multiplicity for u in batch)
+
+    # -- invalidation fan-out ----------------------------------------------------
+    def broadcast_invalidations(
+        self,
+        family: str,
+        batch: List[Update],
+        origin_config: Optional[ViewConfig] = None,
+    ) -> int:
+        """Notify replicas whose configuration conflicts with ``batch``.
+
+        Called at the primary when propagated updates are applied.
+        Returns the number of replica invalidations delivered.  Delivery
+        is metadata-only (the replica marks affected state stale and
+        re-fetches on demand); the fetch traffic then flows over planned
+        linkages like any other miss.
+        """
+        delivered = 0
+        for entry in self.replicas_of(family):
+            if origin_config is not None and entry.config == origin_config:
+                continue
+            conflicting = [u for u in batch if self.conflict_map.conflicts(u, entry.config)]
+            if not conflicting:
+                continue
+            entry.host.on_invalidate(conflicting)
+            delivered += 1
+            self.stats.invalidations += len(conflicting)
+        return delivered
+
+    def __repr__(self) -> str:
+        return (
+            f"<CoherenceDirectory families={sorted(self._by_family)} "
+            f"replicas={len(self._replicas)}>"
+        )

@@ -1,0 +1,38 @@
+"""Experiment harnesses reproducing the paper's evaluation (§4)."""
+
+from .deployments_fig6 import EXPECTED_CHAINS, Fig6Deployment, run_fig6, site_chain
+from .mail_setup import MailTestbed, build_mail_testbed
+from .onetime_costs import OneTimeCosts, format_cost_table, measure_onetime_costs
+from .scenarios_fig7 import (
+    FIG7_GROUPS,
+    SCENARIOS,
+    ScenarioDef,
+    ScenarioResult,
+    fig7_series,
+    format_fig7_table,
+    run_scenario,
+)
+from .topology_fig5 import Fig5Topology, SITE_TRUST, SITES, build_fig5_network
+
+__all__ = [
+    "build_fig5_network",
+    "Fig5Topology",
+    "SITES",
+    "SITE_TRUST",
+    "build_mail_testbed",
+    "MailTestbed",
+    "run_fig6",
+    "Fig6Deployment",
+    "EXPECTED_CHAINS",
+    "site_chain",
+    "run_scenario",
+    "fig7_series",
+    "format_fig7_table",
+    "SCENARIOS",
+    "ScenarioDef",
+    "ScenarioResult",
+    "FIG7_GROUPS",
+    "measure_onetime_costs",
+    "OneTimeCosts",
+    "format_cost_table",
+]

@@ -1,0 +1,96 @@
+"""The deployments of Figure 6 (paper §4.1).
+
+Runs the planner for a client at each of the three sites (in the
+paper's order: New York, San Diego, Seattle — later requests reuse
+components earlier ones installed) and checks the resulting component
+chains against the figure:
+
+- **New York**: ``MailClient`` connecting directly to the ``MailServer``.
+- **San Diego**: ``MailClient -> ViewMailServer[3] -> Encryptor`` in San
+  Diego, ``Decryptor`` in New York, linked to the ``MailServer``.
+- **Seattle**: ``ViewMailClient -> ViewMailServer[2] -> Encryptor`` in
+  Seattle, ``Decryptor`` in San Diego, linked to San Diego's (reused)
+  ``ViewMailServer[3]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..planner import DeploymentPlan, Planner, PlanRequest
+from ..services.mail import build_mail_spec, mail_translator
+from .topology_fig5 import Fig5Topology, build_fig5_network
+
+__all__ = ["Fig6Deployment", "run_fig6", "EXPECTED_CHAINS", "site_chain"]
+
+#: expected (unit, site) chains root-to-server, per client site
+EXPECTED_CHAINS: Dict[str, List[Tuple[str, str]]] = {
+    "newyork": [
+        ("MailClient", "newyork"),
+        ("MailServer", "newyork"),
+    ],
+    "sandiego": [
+        ("MailClient", "sandiego"),
+        ("ViewMailServer", "sandiego"),
+        ("Encryptor", "sandiego"),
+        ("Decryptor", "newyork"),
+        ("MailServer", "newyork"),
+    ],
+    "seattle": [
+        ("ViewMailClient", "seattle"),
+        ("ViewMailServer", "seattle"),
+        ("Encryptor", "seattle"),
+        ("Decryptor", "sandiego"),
+        ("ViewMailServer", "sandiego"),
+    ],
+}
+
+#: the user identity presented per site (all are in the service ACL)
+SITE_USERS = {"newyork": "Alice", "sandiego": "Bob", "seattle": "Carol"}
+
+
+@dataclass
+class Fig6Deployment:
+    """One site's planned deployment plus derived summaries."""
+
+    site: str
+    plan: DeploymentPlan
+    chain: List[Tuple[str, str]] = field(default_factory=list)
+    expected: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.chain == self.expected
+
+
+def site_chain(topology: Fig5Topology, plan: DeploymentPlan) -> List[Tuple[str, str]]:
+    """(unit, site) pairs along the plan, root first."""
+    return [(p.unit, topology.site_of(p.node)) for p in plan.chain_from_root()]
+
+
+def run_fig6(
+    algorithm: str = "exhaustive",
+    clients_per_site: int = 2,
+) -> Dict[str, Fig6Deployment]:
+    """Plan the three site deployments in the paper's order."""
+    spec = build_mail_spec()
+    topo = build_fig5_network(clients_per_site=clients_per_site)
+    planner = Planner(spec, topo.network, mail_translator(), algorithm=algorithm)
+    planner.preinstall("MailServer", topo.server_node)
+
+    out: Dict[str, Fig6Deployment] = {}
+    for site in ("newyork", "sandiego", "seattle"):
+        request = PlanRequest(
+            "ClientInterface",
+            topo.clients[site][0],
+            context={"User": SITE_USERS[site]},
+        )
+        plan, _report = planner.plan_and_commit(request)
+        out[site] = Fig6Deployment(
+            site=site,
+            plan=plan,
+            chain=site_chain(topo, plan),
+            expected=EXPECTED_CHAINS[site],
+        )
+    return out

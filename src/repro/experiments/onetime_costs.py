@@ -1,0 +1,83 @@
+"""The one-time costs of §4.2.
+
+"There are a few one time costs not reflected in Figure 7.  These
+include the costs of downloading the proxy, planning, and component
+deployment and startup.  These costs sum up to approximately 10 seconds
+in the configurations above, but are incurred only at the beginning of
+the entire process."
+
+This experiment binds one client per site through the full framework
+path and reports the per-phase breakdown (proxy download, access round
+trip, planning, deployment+startup) as measured on the simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..smock import BindRecord
+from .mail_setup import build_mail_testbed
+from .scenarios_fig7 import SCENARIOS
+
+__all__ = ["OneTimeCosts", "measure_onetime_costs", "format_cost_table"]
+
+SITE_USERS = {"newyork": "Alice", "sandiego": "Bob", "seattle": "Carol"}
+
+
+@dataclass
+class OneTimeCosts:
+    """Per-site breakdown of framework one-time costs, ms."""
+
+    site: str
+    lookup_ms: float
+    access_round_trip_ms: float
+    planning_ms: float
+    deployment_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        return (
+            self.lookup_ms
+            + self.access_round_trip_ms
+            + self.planning_ms
+            + self.deployment_ms
+        )
+
+
+def measure_onetime_costs(clients_per_site: int = 2) -> List[OneTimeCosts]:
+    """Bind a fresh client at each site; report cost breakdowns."""
+    testbed = build_mail_testbed(clients_per_site=clients_per_site)
+    runtime = testbed.runtime
+    out: List[OneTimeCosts] = []
+    for site, user in SITE_USERS.items():
+        node = testbed.client_nodes(site)[0]
+        before = len(runtime.bind_records)
+        runtime.run(runtime.client_connect(node, {"User": user}), f"connect:{site}")
+        record: BindRecord = runtime.bind_records[before]
+        out.append(
+            OneTimeCosts(
+                site=site,
+                lookup_ms=record.lookup_ms,
+                access_round_trip_ms=record.access_round_trip_ms,
+                planning_ms=record.planning_ms,
+                deployment_ms=record.deployment_ms,
+            )
+        )
+    return out
+
+
+def format_cost_table(costs: List[OneTimeCosts]) -> str:
+    header = (
+        f"{'site':10s} {'proxy dl':>10s} {'access RT':>10s} "
+        f"{'planning':>10s} {'deploy':>10s} {'total':>10s}   (ms)"
+    )
+    lines = [header]
+    for c in costs:
+        lines.append(
+            f"{c.site:10s} {c.lookup_ms:10.1f} {c.access_round_trip_ms:10.1f} "
+            f"{c.planning_ms:10.1f} {c.deployment_ms:10.1f} {c.total_ms:10.1f}"
+        )
+    total = sum(c.total_ms for c in costs)
+    lines.append(f"{'sum':10s} {'':>10s} {'':>10s} {'':>10s} {'':>10s} {total:10.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""The case-study network topology (paper Figure 5).
+
+A company spanning three sites:
+
+- **New York** — main office; hosts the primary mail server; node trust
+  level 5.
+- **San Diego** — branch office; trust level 3.
+- **Seattle** — partner organization; "trusted less than those in New
+  York and San Diego": trust level 2.
+
+Inter-site links are "insecure, slow, and of limited bandwidth" with the
+figure's annotations (NY-SD 200 ms / 20 Mb/s; NY-Seattle 400 ms /
+8 Mb/s; SD-Seattle 100 ms / 50 Mb/s).  Intra-site links are "secure with
+a fast connectivity of 100 Mbps" and 0 ms latency.
+
+The paper generated the emulated topology with BRITE; the sites here are
+hand-specified to match the figure, with a configurable number of
+client nodes per site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..network import Network
+
+__all__ = ["Fig5Topology", "build_fig5_network", "SITES"]
+
+SITES = ("newyork", "sandiego", "seattle")
+
+#: (site, trust level) for each site of Figure 5
+SITE_TRUST = {"newyork": 5, "sandiego": 3, "seattle": 2}
+
+#: inter-site links: (a, b, latency_ms, bandwidth_mbps) — all insecure
+INTER_SITE = (
+    ("newyork", "sandiego", 200.0, 20.0),
+    ("newyork", "seattle", 400.0, 8.0),
+    ("sandiego", "seattle", 100.0, 50.0),
+)
+
+INTRA_LATENCY_MS = 0.0
+INTRA_BANDWIDTH_MBPS = 100.0
+DEFAULT_NODE_CPU = 1000.0
+
+
+@dataclass
+class Fig5Topology:
+    """The built network plus convenient node-name lookups."""
+
+    network: Network
+    gateways: Dict[str, str]
+    clients: Dict[str, List[str]]
+    server_node: str
+
+    def site_of(self, node: str) -> str:
+        for site in SITES:
+            if node.startswith(site):
+                return site
+        raise KeyError(f"node {node!r} belongs to no site")
+
+
+def build_fig5_network(
+    clients_per_site: int = 2,
+    node_cpu: float = DEFAULT_NODE_CPU,
+) -> Fig5Topology:
+    """Construct the Figure 5 network.
+
+    Each site gets a gateway node (terminating the inter-site links) and
+    ``clients_per_site`` client nodes; New York additionally gets the
+    dedicated mail-server host ``newyork-ms``.
+    """
+    if clients_per_site < 1:
+        raise ValueError("need at least one client node per site")
+    net = Network()
+    gateways: Dict[str, str] = {}
+    clients: Dict[str, List[str]] = {}
+
+    for site in SITES:
+        trust = SITE_TRUST[site]
+        creds = {"trust_level": trust, "site": site}
+        gw = f"{site}-gw"
+        net.add_node(gw, cpu_capacity=node_cpu, credentials=dict(creds))
+        gateways[site] = gw
+        clients[site] = []
+        for i in range(1, clients_per_site + 1):
+            name = f"{site}-client{i}"
+            net.add_node(name, cpu_capacity=node_cpu, credentials=dict(creds))
+            clients[site].append(name)
+            net.add_link(
+                gw, name, INTRA_LATENCY_MS, INTRA_BANDWIDTH_MBPS, secure=True
+            )
+
+    server_node = "newyork-ms"
+    net.add_node(
+        server_node,
+        cpu_capacity=4 * node_cpu,  # the primary server host is beefier
+        credentials={"trust_level": 5, "site": "newyork"},
+    )
+    net.add_link(
+        gateways["newyork"], server_node, INTRA_LATENCY_MS, INTRA_BANDWIDTH_MBPS, secure=True
+    )
+
+    for a, b, latency, bw in INTER_SITE:
+        net.add_link(gateways[a], gateways[b], latency, bw, secure=False)
+
+    return Fig5Topology(net, gateways, clients, server_node)

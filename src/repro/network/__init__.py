@@ -1,0 +1,32 @@
+"""Network substrate: topology model, BRITE-style generation,
+credential translation, and Remos-style monitoring."""
+
+from .brite import BriteConfig, generate, generate_barabasi_albert, generate_waxman
+from .credentials import (
+    CredentialRule,
+    CredentialTranslator,
+    Environment,
+    FunctionTranslator,
+    RuleTranslator,
+)
+from .monitor import ChangeEvent, NetworkMonitor
+from .topology import LinkInfo, Network, NetworkError, NodeInfo, PathInfo
+
+__all__ = [
+    "Network",
+    "NetworkError",
+    "NodeInfo",
+    "LinkInfo",
+    "PathInfo",
+    "BriteConfig",
+    "generate",
+    "generate_waxman",
+    "generate_barabasi_albert",
+    "Environment",
+    "CredentialTranslator",
+    "FunctionTranslator",
+    "RuleTranslator",
+    "CredentialRule",
+    "NetworkMonitor",
+    "ChangeEvent",
+]

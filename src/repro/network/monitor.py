@@ -1,0 +1,179 @@
+"""Remos-style network monitoring (paper §6, first limitation).
+
+The paper's planner assumes a static network; §6 proposes integrating a
+monitoring tool (Remos [8]) that "obtains relevant information about the
+state of the network and communicates it to network-aware applications
+through a well-defined and uniform set of APIs", letting the planner
+decide whether a redeployment is called for.
+
+:class:`NetworkMonitor` provides that API against the simulated network:
+
+- *queries* — current latency/bandwidth/security of links, CPU of nodes;
+- *subscriptions* — callbacks fired when an observed attribute changes;
+- *scripted perturbations* — experiments inject changes at simulated
+  times (a link slows down, a node loses trust) and the monitor reports
+  them on its next polling round, modeling real monitoring lag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim import Simulator
+from .topology import Network
+
+__all__ = ["ChangeEvent", "NetworkMonitor"]
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One observed attribute change."""
+
+    time_ms: float
+    kind: str  # "link" or "node"
+    subject: str  # link name "a<->b" or node name
+    attribute: str
+    old: Any
+    new: Any
+
+
+Subscriber = Callable[[ChangeEvent], None]
+
+
+class NetworkMonitor:
+    """Polls a :class:`Network` inside a simulation and reports changes.
+
+    ``poll_interval_ms`` models monitoring lag: a perturbation applied
+    between polls is only observed (and subscribers notified) at the next
+    poll boundary, as with a real Remos deployment.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        poll_interval_ms: float = 1000.0,
+    ) -> None:
+        if poll_interval_ms <= 0:
+            raise ValueError("poll_interval_ms must be positive")
+        self.sim = sim
+        self.network = network
+        self.poll_interval_ms = poll_interval_ms
+        self._subscribers: List[Subscriber] = []
+        self._snapshot: Dict[Tuple[str, str, str], Any] = {}
+        self.history: List[ChangeEvent] = []
+        self._running = False
+        self._take_snapshot(initial=True)
+
+    # -- query API (the "well-defined and uniform set of APIs") -----------
+    def link_latency_ms(self, a: str, b: str) -> float:
+        return self.network.link(a, b).latency_ms
+
+    def link_bandwidth_mbps(self, a: str, b: str) -> float:
+        return self.network.link(a, b).bandwidth_mbps
+
+    def link_secure(self, a: str, b: str) -> bool:
+        return self.network.link(a, b).secure
+
+    def node_cpu_capacity(self, name: str) -> float:
+        return self.network.node(name).cpu_capacity
+
+    def node_credential(self, name: str, key: str, default: Any = None) -> Any:
+        return self.network.node(name).credentials.get(key, default)
+
+    # -- subscriptions ------------------------------------------------------
+    def subscribe(self, fn: Subscriber) -> None:
+        """Call ``fn(change)`` for every change observed at a poll."""
+        self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Subscriber) -> None:
+        self._subscribers.remove(fn)
+
+    # -- perturbation injection ---------------------------------------------
+    def perturb_link(
+        self,
+        a: str,
+        b: str,
+        latency_ms: Optional[float] = None,
+        bandwidth_mbps: Optional[float] = None,
+        secure: Optional[bool] = None,
+    ) -> None:
+        """Mutate link attributes now; observed at the next poll."""
+        link = self.network.link(a, b)
+        if latency_ms is not None:
+            link.latency_ms = latency_ms
+        if bandwidth_mbps is not None:
+            link.bandwidth_mbps = bandwidth_mbps
+        if secure is not None:
+            link.secure = secure
+        self.network.touch()
+
+    def perturb_node(
+        self,
+        name: str,
+        cpu_capacity: Optional[float] = None,
+        credentials: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Mutate node attributes now; observed at the next poll."""
+        node = self.network.node(name)
+        if cpu_capacity is not None:
+            node.cpu_capacity = cpu_capacity
+        if credentials:
+            node.credentials.update(credentials)
+        self.network.touch()
+
+    def schedule_perturbation(self, at_ms: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` (which should call perturb_*) at simulated time."""
+        self.sim.call_at(at_ms, fn)
+
+    # -- polling loop ---------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic polling as a simulation process."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._poll_loop(), name="network-monitor")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _poll_loop(self):
+        while self._running:
+            yield self.sim.timeout(self.poll_interval_ms)
+            self.poll()
+
+    def poll(self) -> List[ChangeEvent]:
+        """One observation round; returns (and dispatches) changes."""
+        changes = self._take_snapshot(initial=False)
+        for change in changes:
+            self.history.append(change)
+            for fn in list(self._subscribers):
+                fn(change)
+        return changes
+
+    def _take_snapshot(self, initial: bool) -> List[ChangeEvent]:
+        now = self.sim.now
+        current: Dict[Tuple[str, str, str], Any] = {}
+        for link in self.network.links():
+            base = ("link", link.name)
+            current[(*base, "latency_ms")] = link.latency_ms
+            current[(*base, "bandwidth_mbps")] = link.bandwidth_mbps
+            current[(*base, "secure")] = link.secure
+        for node in self.network.nodes():
+            base = ("node", node.name)
+            current[(*base, "cpu_capacity")] = node.cpu_capacity
+            for key, val in node.credentials.items():
+                current[(*base, f"credential:{key}")] = val
+
+        changes: List[ChangeEvent] = []
+        if not initial:
+            for key, new in current.items():
+                old = self._snapshot.get(key)
+                if old != new:
+                    kind, subject, attribute = key
+                    changes.append(
+                        ChangeEvent(now, kind, subject, attribute, old, new)
+                    )
+        self._snapshot = current
+        return changes

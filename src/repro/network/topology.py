@@ -1,0 +1,349 @@
+"""Static network model used by the planner.
+
+The planner (paper §3.3) sees the network as a graph of nodes and links
+"modeled in terms of their resource characteristics (CPU capacity,
+bandwidth, latency) and application-independent credentials".  This
+module provides that graph: :class:`NodeInfo`, :class:`LinkInfo`, the
+:class:`Network` container, and path routing used to evaluate end-to-end
+environments between candidate component placements.
+
+A :class:`Network` can also be *materialized* into live simulation
+objects (:class:`~repro.sim.SimNode`, :class:`~repro.sim.SimLink`) when a
+deployment actually executes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..sim import SimLink, SimNode, Simulator, transfer_time_ms
+
+__all__ = ["NodeInfo", "LinkInfo", "PathInfo", "Network", "NetworkError"]
+
+
+class NetworkError(KeyError):
+    """Unknown node/link or disconnected endpoints."""
+
+
+@dataclass
+class NodeInfo:
+    """Planner-visible description of one host.
+
+    ``credentials`` holds application-independent facts (e.g. site name,
+    administrative domain, hardware class).  Services never read these
+    directly; the credential-translation layer turns them into service
+    properties (paper §3.3, §6).
+    """
+
+    name: str
+    cpu_capacity: float = 1000.0
+    credentials: Dict[str, Any] = field(default_factory=dict)
+    #: remaining CPU budget, in work-units/sec, decremented as the
+    #: planner commits components (condition 3).
+    reserved_cpu: float = 0.0
+
+    @property
+    def free_cpu(self) -> float:
+        return self.cpu_capacity - self.reserved_cpu
+
+    def copy(self) -> "NodeInfo":
+        return NodeInfo(
+            name=self.name,
+            cpu_capacity=self.cpu_capacity,
+            credentials=dict(self.credentials),
+            reserved_cpu=self.reserved_cpu,
+        )
+
+
+@dataclass
+class LinkInfo:
+    """Planner-visible description of one link (Figure 5 annotations)."""
+
+    a: str
+    b: str
+    latency_ms: float = 0.0
+    bandwidth_mbps: float = 100.0
+    secure: bool = True
+    credentials: Dict[str, Any] = field(default_factory=dict)
+    reserved_mbps: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"{self.a}<->{self.b}"
+
+    @property
+    def free_mbps(self) -> float:
+        return self.bandwidth_mbps - self.reserved_mbps
+
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.a, self.b)
+
+    def copy(self) -> "LinkInfo":
+        return LinkInfo(
+            a=self.a,
+            b=self.b,
+            latency_ms=self.latency_ms,
+            bandwidth_mbps=self.bandwidth_mbps,
+            secure=self.secure,
+            credentials=dict(self.credentials),
+            reserved_mbps=self.reserved_mbps,
+        )
+
+
+@dataclass
+class PathInfo:
+    """Aggregate environment of a multi-hop path between two nodes.
+
+    ``secure`` is the conjunction over hops; latency sums; bandwidth is
+    the bottleneck minimum.  A zero-hop path (both components on the same
+    node) is secure with zero latency and unbounded bandwidth.
+    """
+
+    src: str
+    dst: str
+    hops: Tuple[LinkInfo, ...]
+
+    @property
+    def latency_ms(self) -> float:
+        return sum(h.latency_ms for h in self.hops)
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        if not self.hops:
+            return float("inf")
+        return min(h.bandwidth_mbps for h in self.hops)
+
+    @property
+    def free_mbps(self) -> float:
+        if not self.hops:
+            return float("inf")
+        return min(h.free_mbps for h in self.hops)
+
+    @property
+    def secure(self) -> bool:
+        return all(h.secure for h in self.hops)
+
+    @property
+    def is_local(self) -> bool:
+        return not self.hops
+
+    def transfer_time_ms(self, size_bytes: int) -> float:
+        """Analytic end-to-end one-way transfer time for a message."""
+        if not self.hops:
+            return 0.0
+        return sum(
+            transfer_time_ms(size_bytes, h.bandwidth_mbps, h.latency_ms)
+            for h in self.hops
+        )
+
+
+def _link_key(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+class Network:
+    """Mutable graph of :class:`NodeInfo` and :class:`LinkInfo`.
+
+    Nodes are keyed by name; at most one link per node pair (the paper's
+    topologies are simple graphs).  Shortest paths are by latency, which
+    matches how the case-study deployments are reasoned about.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, NodeInfo] = {}
+        self._links: Dict[Tuple[str, str], LinkInfo] = {}
+        self._adj: Dict[str, List[str]] = {}
+        self._path_cache: Dict[Tuple[str, str], PathInfo] = {}
+        self._version = 0
+
+    # -- construction ----------------------------------------------------
+    def add_node(
+        self,
+        name: str,
+        cpu_capacity: float = 1000.0,
+        credentials: Optional[Dict[str, Any]] = None,
+    ) -> NodeInfo:
+        """Add a host; raises on duplicates."""
+        if name in self._nodes:
+            raise NetworkError(f"duplicate node {name!r}")
+        info = NodeInfo(name, cpu_capacity, dict(credentials or {}))
+        self._nodes[name] = info
+        self._adj[name] = []
+        self._invalidate()
+        return info
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        latency_ms: float = 0.0,
+        bandwidth_mbps: float = 100.0,
+        secure: bool = True,
+        credentials: Optional[Dict[str, Any]] = None,
+    ) -> LinkInfo:
+        """Add a link between existing nodes; raises on duplicates."""
+        if a not in self._nodes:
+            raise NetworkError(f"unknown node {a!r}")
+        if b not in self._nodes:
+            raise NetworkError(f"unknown node {b!r}")
+        if a == b:
+            raise NetworkError("self-links are not allowed")
+        key = _link_key(a, b)
+        if key in self._links:
+            raise NetworkError(f"duplicate link {a!r}<->{b!r}")
+        info = LinkInfo(a, b, latency_ms, bandwidth_mbps, secure, dict(credentials or {}))
+        self._links[key] = info
+        self._adj[a].append(b)
+        self._adj[b].append(a)
+        self._invalidate()
+        return info
+
+    def remove_link(self, a: str, b: str) -> None:
+        """Delete a link (used by dynamic-replanning experiments)."""
+        key = _link_key(a, b)
+        if key not in self._links:
+            raise NetworkError(f"no link {a!r}<->{b!r}")
+        del self._links[key]
+        self._adj[a].remove(b)
+        self._adj[b].remove(a)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._path_cache.clear()
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Bumped on every topology/attribute mutation via this API."""
+        return self._version
+
+    def touch(self) -> None:
+        """Record an external attribute mutation (e.g. by a monitor)."""
+        self._invalidate()
+
+    # -- lookup ----------------------------------------------------------
+    def node(self, name: str) -> NodeInfo:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def link(self, a: str, b: str) -> LinkInfo:
+        try:
+            return self._links[_link_key(a, b)]
+        except KeyError:
+            raise NetworkError(f"no link {a!r}<->{b!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def has_link(self, a: str, b: str) -> bool:
+        return _link_key(a, b) in self._links
+
+    def nodes(self) -> Iterator[NodeInfo]:
+        return iter(self._nodes.values())
+
+    def links(self) -> Iterator[LinkInfo]:
+        return iter(self._links.values())
+
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    def neighbors(self, name: str) -> Sequence[str]:
+        if name not in self._adj:
+            raise NetworkError(f"unknown node {name!r}")
+        return tuple(self._adj[name])
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def n_links(self) -> int:
+        return len(self._links)
+
+    # -- routing -----------------------------------------------------------
+    def path(self, src: str, dst: str) -> PathInfo:
+        """Lowest-latency path from ``src`` to ``dst`` (Dijkstra, cached).
+
+        Raises :class:`NetworkError` if disconnected.
+        """
+        if src not in self._nodes:
+            raise NetworkError(f"unknown node {src!r}")
+        if dst not in self._nodes:
+            raise NetworkError(f"unknown node {dst!r}")
+        if src == dst:
+            return PathInfo(src, dst, ())
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+
+        dist: Dict[str, float] = {src: 0.0}
+        prev: Dict[str, str] = {}
+        heap: List[Tuple[float, str]] = [(0.0, src)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u == dst:
+                break
+            if d > dist.get(u, float("inf")):
+                continue
+            for v in self._adj[u]:
+                w = self._links[_link_key(u, v)].latency_ms
+                nd = d + w
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    prev[v] = u
+                    heapq.heappush(heap, (nd, v))
+        if dst not in dist:
+            raise NetworkError(f"no path {src!r} -> {dst!r}")
+
+        hops: List[LinkInfo] = []
+        cur = dst
+        while cur != src:
+            p = prev[cur]
+            hops.append(self._links[_link_key(p, cur)])
+            cur = p
+        hops.reverse()
+        info = PathInfo(src, dst, tuple(hops))
+        self._path_cache[key] = info
+        self._path_cache[(dst, src)] = PathInfo(dst, src, tuple(reversed(hops)))
+        return info
+
+    def connected(self, src: str, dst: str) -> bool:
+        try:
+            self.path(src, dst)
+            return True
+        except NetworkError:
+            return False
+
+    # -- reservations (planner condition 3 bookkeeping) --------------------
+    def snapshot(self) -> "Network":
+        """Deep copy for what-if planning without mutating live state."""
+        other = Network()
+        for n in self._nodes.values():
+            other._nodes[n.name] = n.copy()
+            other._adj[n.name] = list(self._adj[n.name])
+        for k, l in self._links.items():
+            other._links[k] = l.copy()
+        other._version = self._version
+        return other
+
+    # -- materialization ----------------------------------------------------
+    def materialize(self, sim: Simulator) -> Tuple[Dict[str, SimNode], Dict[Tuple[str, str], SimLink]]:
+        """Instantiate live simulation nodes/links mirroring this graph."""
+        nodes = {
+            n.name: SimNode(sim, n.name, n.cpu_capacity, dict(n.credentials))
+            for n in self._nodes.values()
+        }
+        links = {
+            key: SimLink(
+                sim, l.a, l.b, l.latency_ms, l.bandwidth_mbps, l.secure, l.name
+            )
+            for key, l in self._links.items()
+        }
+        return nodes, links
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Network nodes={len(self._nodes)} links={len(self._links)}>"

@@ -1,0 +1,61 @@
+"""Planning policies (paper §3.3).
+
+Three interchangeable algorithms over a shared constraint model:
+
+- :func:`plan_exhaustive` — the paper's current implementation: combined
+  linkage-enumeration + network-mapping search with branch-and-bound;
+- :func:`plan_dp_chain` — the CANS-style dynamic program for chain
+  graphs ([13]);
+- :func:`plan_partial_order` — the IPP-style constraint solver the paper
+  names as future work, handling general component graphs.
+
+:class:`Planner` is the facade the runtime uses; it owns deployment
+state and capacity reservations.
+"""
+
+from .compat import CompatError, PlanningContext
+from .dp_chain import DPStats, plan_dp_chain
+from .exhaustive import SearchStats, plan_exhaustive
+from .linkage import LinkageGraph, enumerate_linkage_graphs, valid_chains
+from .load import LoadReport, check_loads, compute_loads, config_covered, config_of
+from .objectives import DeploymentCost, ExpectedLatency, MaxCapacity, Objective
+from .partial_order import CSPStats, plan_partial_order
+from .plan import (
+    DeploymentPlan,
+    DeploymentState,
+    Placement,
+    PlannedLinkage,
+    PlanRequest,
+)
+from .planner import ALGORITHMS, Planner, PlanningError
+
+__all__ = [
+    "Planner",
+    "PlanningError",
+    "ALGORITHMS",
+    "PlanningContext",
+    "CompatError",
+    "PlanRequest",
+    "DeploymentPlan",
+    "DeploymentState",
+    "Placement",
+    "PlannedLinkage",
+    "LinkageGraph",
+    "enumerate_linkage_graphs",
+    "valid_chains",
+    "LoadReport",
+    "compute_loads",
+    "check_loads",
+    "config_of",
+    "config_covered",
+    "Objective",
+    "ExpectedLatency",
+    "DeploymentCost",
+    "MaxCapacity",
+    "plan_exhaustive",
+    "SearchStats",
+    "plan_dp_chain",
+    "DPStats",
+    "plan_partial_order",
+    "CSPStats",
+]

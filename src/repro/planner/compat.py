@@ -1,0 +1,211 @@
+"""Pairwise linkage validity: the planner's three conditions (§3.3).
+
+For each pair of linked components the planner checks:
+
+1. each component can be *instantiated* in its node environment
+   (installation ``Conditions``);
+2. the properties of the interface implemented by the 'server' are
+   *compatible* with those required by the 'client', after the
+   environment's property-modification rules transform them;
+3. the expected request traffic does not exceed node/link capacity
+   (delegated to :mod:`repro.planner.load`).
+
+:class:`PlanningContext` bundles the spec, network, credential
+translator and rule set, and caches node/path environments — the hot
+lookups of every search algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..network import CredentialTranslator, Environment, Network, PathInfo
+from ..spec import (
+    ANY,
+    ComponentDef,
+    InterfaceBinding,
+    ServiceSpec,
+    ViewDef,
+    resolve_env_refs,
+    satisfies,
+)
+
+__all__ = ["PlanningContext", "CompatError"]
+
+
+class CompatError(ValueError):
+    """A linkage pair violates one of the validity conditions."""
+
+
+@dataclass
+class PlanningContext:
+    """Everything a planning algorithm needs to evaluate mappings."""
+
+    spec: ServiceSpec
+    network: Network
+    translator: CredentialTranslator
+
+    def __post_init__(self) -> None:
+        self._node_env_cache: Dict[str, Dict[str, Any]] = {}
+        self._path_env_cache: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        self._implements_cache: Dict[Tuple[str, str], Dict[str, Dict[str, Any]]] = {}
+        self._requires_cache: Dict[Tuple[str, str], List[Tuple[str, Dict[str, Any]]]] = {}
+        self._net_version = self.network.version
+
+    # -- environments -------------------------------------------------------
+    def _check_version(self) -> None:
+        if self.network.version != self._net_version:
+            self._node_env_cache.clear()
+            self._path_env_cache.clear()
+            self._implements_cache.clear()
+            self._requires_cache.clear()
+            self._net_version = self.network.version
+
+    def node_env(self, node: str, context: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Service properties of a node (credential-translated), merged
+        with request-scope context if given."""
+        self._check_version()
+        base = self._node_env_cache.get(node)
+        if base is None:
+            base = dict(self.translator.node_environment(self.network.node(node)).values)
+            self._node_env_cache[node] = base
+        if not context:
+            return base
+        merged = dict(base)
+        merged.update(context)
+        return merged
+
+    def path_env(self, src: str, dst: str) -> Dict[str, Any]:
+        """Service properties of the path between two nodes."""
+        self._check_version()
+        key = (src, dst)
+        env = self._path_env_cache.get(key)
+        if env is None:
+            path = self.network.path(src, dst)
+            env = dict(self.translator.path_environment(path).values)
+            self._path_env_cache[key] = env
+            self._path_env_cache[(dst, src)] = env
+        return env
+
+    def path(self, src: str, dst: str) -> PathInfo:
+        return self.network.path(src, dst)
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Is there any route between the nodes?  Planners must skip
+        candidate pairs that a partition separates."""
+        return self.network.connected(src, dst)
+
+    # -- condition 1: installability -------------------------------------------
+    def installable(
+        self,
+        unit: ComponentDef,
+        node: str,
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> bool:
+        """Can ``unit`` be instantiated on ``node`` (install conditions)?"""
+        env = self.node_env(node, context)
+        return unit.installable_in(env)
+
+    def resolve_factors(self, unit: ComponentDef, node: str) -> Dict[str, Any]:
+        """Bind a view's Factors against the node environment (empty for
+        plain components)."""
+        if isinstance(unit, ViewDef) and unit.factors:
+            return resolve_env_refs(unit.factors, self.node_env(node))
+        return {}
+
+    def resolved_implements(
+        self, unit: ComponentDef, node: str
+    ) -> Dict[str, Dict[str, Any]]:
+        """Implemented-interface properties as generated on ``node``.
+
+        ``Node.X`` references resolve against the node environment,
+        overridden by the view's bound factor values (a configured
+        ``ViewMailServer`` exposes its *factor* trust level).
+        Cached per (unit, node) — these are hot lookups in every search.
+        """
+        self._check_version()
+        key = (unit.name, node)
+        cached = self._implements_cache.get(key)
+        if cached is not None:
+            return cached
+        env = dict(self.node_env(node))
+        env.update({k: v for k, v in self.resolve_factors(unit, node).items() if v is not None})
+        resolved = {
+            b.interface: resolve_env_refs(b.properties, env) for b in unit.implements
+        }
+        self._implements_cache[key] = resolved
+        return resolved
+
+    def resolved_requires(
+        self, unit: ComponentDef, node: str
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        """Required-interface properties as demanded from ``node``."""
+        self._check_version()
+        key = (unit.name, node)
+        cached = self._requires_cache.get(key)
+        if cached is not None:
+            return cached
+        env = dict(self.node_env(node))
+        env.update({k: v for k, v in self.resolve_factors(unit, node).items() if v is not None})
+        resolved = [
+            (b.interface, resolve_env_refs(b.properties, env)) for b in unit.requires
+        ]
+        self._requires_cache[key] = resolved
+        return resolved
+
+    # -- condition 2: property compatibility ----------------------------------
+    def match_mode(self, prop: str) -> str:
+        pdef = self.spec.properties.get(prop)
+        return pdef.match_mode if pdef is not None else "exact"
+
+    def transform_through_env(
+        self, implemented: Mapping[str, Any], env: Mapping[str, Any]
+    ) -> Dict[str, Any]:
+        """Apply the service's property-modification rules for a path env."""
+        return self.spec.rules.transform(implemented, env)
+
+    def properties_compatible(
+        self,
+        required: Mapping[str, Any],
+        implemented: Mapping[str, Any],
+        env: Mapping[str, Any],
+    ) -> bool:
+        """Does ``implemented`` (transformed by ``env``) satisfy ``required``?
+
+        The implemented property set must be a *superset*: every required
+        property must be present (or implemented as ANY) and its
+        environment-transformed value must satisfy the requirement under
+        the property's match mode.
+        """
+        if not required:
+            return True
+        delivered = self.transform_through_env(implemented, env)
+        for prop, req_value in required.items():
+            actual = delivered.get(prop)
+            if prop not in implemented:
+                # Missing from the implementation: not vouched for.
+                actual = None
+            if not satisfies(req_value, actual, self.match_mode(prop)):
+                return False
+        return True
+
+    def linkage_compatible(
+        self,
+        client_unit: ComponentDef,
+        client_node: str,
+        server_unit: ComponentDef,
+        server_node: str,
+        interface: str,
+    ) -> bool:
+        """Full condition-2 check for one candidate linkage."""
+        server_impl = self.resolved_implements(server_unit, server_node).get(interface)
+        if server_impl is None:
+            return False
+        for req_iface, req_props in self.resolved_requires(client_unit, client_node):
+            if req_iface != interface:
+                continue
+            env = self.path_env(client_node, server_node)
+            if self.properties_compatible(req_props, server_impl, env):
+                return True
+        return False

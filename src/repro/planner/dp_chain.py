@@ -1,0 +1,266 @@
+"""Dynamic-programming planner for chain-shaped component graphs.
+
+"For the case where all component graphs are chains, an efficient
+dynamic programming algorithm is described and evaluated in [13]"
+(CANS).  This module reimplements that idea: for each valid linkage
+*chain* (from :mod:`repro.planner.linkage`), a DP over
+``(chain position, node)`` states finds the minimum-cost placement in
+``O(len(chain) * |nodes|^2)`` instead of the exhaustive planner's
+exponential search.
+
+Scope and honesty notes:
+
+- Edge validity (conditions 1 and 2) is checked exactly, per pair, like
+  the exhaustive planner.
+- Traversal probabilities use *unit-level* first-occurrence RRF over the
+  chain prefix (node-independent, so states stay memoizable).  When a
+  chain repeats a factored view with different configurations the exact
+  coverage semantics differ slightly; the returned plan is re-scored
+  with the exact objective, so reported scores are always comparable.
+- Condition 3 (load) is validated on the completed plan; a chain whose
+  optimum violates capacity is discarded rather than re-searched.  The
+  exhaustive planner remains the complete reference.
+- An installed placement implementing the interface required at any
+  position may terminate the chain early (deployment reuse), mirroring
+  the exhaustive planner's case (b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..spec import ComponentDef
+from .compat import PlanningContext
+from .exhaustive import _instantiate, _required_props
+from .linkage import LinkageGraph, enumerate_linkage_graphs
+from .load import check_loads
+from .objectives import ExpectedLatency, Objective
+from .plan import (
+    DeploymentPlan,
+    DeploymentState,
+    Placement,
+    PlannedLinkage,
+    PlanRequest,
+)
+
+__all__ = ["plan_dp_chain", "DPStats"]
+
+
+@dataclass
+class DPStats:
+    """Instrumentation for the planner-scaling benchmarks."""
+
+    chains_considered: int = 0
+    states_evaluated: int = 0
+    plans_scored: int = 0
+
+
+def _chain_probs(ctx: PlanningContext, units: List[str]) -> List[float]:
+    """Traversal probability of the edge leaving each chain position."""
+    probs: List[float] = []
+    p = 1.0
+    seen: set = set()
+    for name in units:
+        unit = ctx.spec.unit(name)
+        if name not in seen:
+            p *= unit.behaviors.rrf
+            seen.add(name)
+        probs.append(p)
+    return probs
+
+
+def _finish_plan(
+    ctx: PlanningContext,
+    request: PlanRequest,
+    rate: float,
+    objective: Objective,
+    placements: List[Placement],
+    linkages: List[PlannedLinkage],
+) -> Optional[DeploymentPlan]:
+    plan = DeploymentPlan(
+        placements=placements,
+        linkages=linkages,
+        root=0,
+        client_node=request.client_node,
+    )
+    report = check_loads(ctx, plan, rate)
+    if not report.ok:
+        return None
+    plan.score = objective.score(ctx, plan, rate, report)
+    return plan
+
+
+def plan_dp_chain(
+    ctx: PlanningContext,
+    request: PlanRequest,
+    state: Optional[DeploymentState] = None,
+    objective: Optional[Objective] = None,
+    stats: Optional[DPStats] = None,
+    max_units: Optional[int] = None,
+    max_repeat: int = 2,
+) -> Optional[DeploymentPlan]:
+    """Best chain-shaped deployment found by per-chain DP."""
+    objective = objective or ExpectedLatency()
+    state = state or DeploymentState()
+    stats = stats if stats is not None else DPStats()
+    spec = ctx.spec
+    limit = max_units or request.max_units
+
+    rate = request.request_rate
+    if rate <= 0:
+        roots = spec.implementers_of(request.interface)
+        rate = max((u.behaviors.request_rate for u in roots), default=1.0) or 1.0
+
+    def root_acceptable(placement: Placement) -> bool:
+        """Client QoS expectations on the requested interface."""
+        if not request.required_properties:
+            return True
+        impl = placement.implemented_props(request.interface)
+        if impl is None:
+            return False
+        if not ctx.reachable(request.client_node, placement.node):
+            return False
+        env = ctx.path_env(request.client_node, placement.node)
+        return ctx.properties_compatible(request.required_properties, impl, env)
+
+    best: Optional[DeploymentPlan] = None
+    chains = [
+        g
+        for g in enumerate_linkage_graphs(spec, request.interface, limit, max_repeat)
+        if g.is_chain
+    ]
+    root_nodes = (
+        [request.client_node]
+        if request.root_on_client
+        else [n.name for n in ctx.network.nodes()]
+    )
+    all_nodes = [n.name for n in ctx.network.nodes()]
+
+    for graph in chains:
+        stats.chains_considered += 1
+        units = graph.chain_units()
+        ifaces = [iface for _c, _s, iface in sorted(graph.edges, key=lambda e: e[0])]
+        probs = _chain_probs(ctx, units)
+        root_unit = spec.unit(units[0])
+        root_extra = objective.root_view_penalty if root_unit.is_view else 0.0
+
+        # DP cells: per position, {placement: (cost, parent_placement)}.
+        # A cell's cost is a lower-bound primary (edge + placement costs).
+        cells: List[Dict[Placement, Tuple[float, Optional[Placement]]]] = []
+
+        cell0: Dict[Placement, Tuple[float, Optional[Placement]]] = {}
+        for node in root_nodes:
+            p = _instantiate(ctx, root_unit, node, request.context)
+            if p is None or p.implemented_props(request.interface) is None:
+                continue
+            if not root_acceptable(p):
+                continue
+            cost = root_extra + objective.placement_cost(ctx, root_unit, node, False)
+            cell0[p] = (cost, None)
+        for installed in state.implementers_of(request.interface):
+            if installed.node in root_nodes and root_acceptable(installed):
+                cell0[installed] = (root_extra, None)
+        if not cell0:
+            continue
+        cells.append(cell0)
+
+        completions: List[Tuple[float, List[Placement]]] = []
+
+        def backtrace(cell_idx: int, placement: Placement) -> List[Placement]:
+            chain: List[Placement] = [placement]
+            i = cell_idx
+            cur = placement
+            while i > 0:
+                cur = cells[i][cur][1]  # type: ignore[index]
+                assert cur is not None
+                chain.append(cur)
+                i -= 1
+            chain.reverse()
+            return chain
+
+        # Reused roots complete immediately (already wired upstream).
+        for placement, (cost, _parent) in cell0.items():
+            if placement.reused:
+                completions.append((cost, [placement]))
+
+        for i in range(1, len(units)):
+            unit = spec.unit(units[i])
+            iface = ifaces[i - 1]
+            prob = probs[i - 1]
+            cell: Dict[Placement, Tuple[float, Optional[Placement]]] = {}
+
+            # Fresh candidates for this position.
+            candidates: List[Placement] = []
+            for node in all_nodes:
+                p = _instantiate(ctx, unit, node, request.context)
+                if p is not None and p.implemented_props(iface) is not None:
+                    candidates.append(p)
+            # Installed candidates (any unit) terminate the chain here.
+            installed_candidates = state.implementers_of(iface)
+
+            for prev_place, (prev_cost, _) in cells[i - 1].items():
+                if prev_place.reused:
+                    continue  # reused placements are already complete
+                prev_unit = spec.unit(prev_place.unit)
+                required = _required_props(ctx, prev_unit, prev_place.node, iface)
+                if required is None:
+                    continue
+
+                def compatible(target: Placement) -> bool:
+                    impl = target.implemented_props(iface)
+                    if impl is None:
+                        return False
+                    if not ctx.reachable(prev_place.node, target.node):
+                        return False
+                    env = ctx.path_env(prev_place.node, target.node)
+                    return ctx.properties_compatible(required, impl, env)
+
+                for cand in candidates:
+                    stats.states_evaluated += 1
+                    if cand.key == prev_place.key or not compatible(cand):
+                        continue
+                    cost = (
+                        prev_cost
+                        + objective.edge_cost(
+                            ctx, prev_unit, prev_place.node, cand.node, prob
+                        )
+                        + objective.placement_cost(ctx, unit, cand.node, False)
+                    )
+                    old = cell.get(cand)
+                    if old is None or cost < old[0]:
+                        cell[cand] = (cost, prev_place)
+
+                for cand in installed_candidates:
+                    stats.states_evaluated += 1
+                    if not compatible(cand):
+                        continue
+                    cost = prev_cost + objective.edge_cost(
+                        ctx, prev_unit, prev_place.node, cand.node, prob
+                    )
+                    completions.append(
+                        (cost, backtrace(i - 1, prev_place) + [cand])
+                    )
+
+            cells.append(cell)
+            if not cell:
+                break
+
+        # Fresh terminal completions: the chain's last unit requires nothing.
+        if len(cells) == len(units):
+            for placement, (cost, _) in cells[-1].items():
+                if not placement.reused:
+                    completions.append((cost, backtrace(len(units) - 1, placement)))
+
+        # Score the cheapest few completions exactly (DP cost is a proxy).
+        completions.sort(key=lambda c: c[0])
+        for _cost, chain_places in completions[:5]:
+            stats.plans_scored += 1
+            linkages = [
+                PlannedLinkage(j, j + 1, ifaces[j]) for j in range(len(chain_places) - 1)
+            ]
+            plan = _finish_plan(ctx, request, rate, objective, chain_places, linkages)
+            if plan is not None and (best is None or plan.score < best.score):
+                best = plan
+
+    return best

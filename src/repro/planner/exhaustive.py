@@ -1,0 +1,327 @@
+"""The exhaustive combined planner (§3.3).
+
+"Currently, our planner implementation combines these two steps
+[linkage enumeration and network mapping] and exhaustively searches for
+a deployment that satisfies the constraints."
+
+The search interleaves linkage construction with placement: starting
+from candidate roots (units implementing the requested interface), it
+repeatedly takes an unsatisfied required interface and either links it
+to an already-placed compatible provider (within the plan or reused from
+the existing deployment state) or instantiates a new provider on some
+node — checking condition 1 (installability) and condition 2 (property
+compatibility under path-environment modification) as it goes, and
+condition 3 (load vs. capacity) on each complete candidate.  A
+branch-and-bound lower bound from the objective prunes dominated
+partial plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..spec import ComponentDef
+from .compat import PlanningContext
+from .load import check_loads, config_covered
+from .objectives import ExpectedLatency, Objective
+from .plan import (
+    DeploymentPlan,
+    DeploymentState,
+    Placement,
+    PlannedLinkage,
+    PlanRequest,
+    freeze_implemented,
+    freeze_props,
+)
+
+__all__ = ["plan_exhaustive", "SearchStats"]
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation for the scaling benchmarks."""
+
+    nodes_expanded: int = 0
+    complete_plans: int = 0
+    pruned: int = 0
+    load_rejected: int = 0
+
+
+def _reaches(linkages: List[PlannedLinkage], src: int, dst: int) -> bool:
+    """Is ``dst`` reachable from ``src`` along client->server edges?"""
+    stack = [src]
+    seen = {src}
+    while stack:
+        cur = stack.pop()
+        if cur == dst:
+            return True
+        for l in linkages:
+            if l.client == cur and l.server not in seen:
+                seen.add(l.server)
+                stack.append(l.server)
+    return False
+
+
+def plan_exhaustive(
+    ctx: PlanningContext,
+    request: PlanRequest,
+    state: Optional[DeploymentState] = None,
+    objective: Optional[Objective] = None,
+    stats: Optional[SearchStats] = None,
+) -> Optional[DeploymentPlan]:
+    """Best valid deployment plan, or None if no mapping satisfies all
+    constraints."""
+    objective = objective or ExpectedLatency()
+    state = state or DeploymentState()
+    stats = stats if stats is not None else SearchStats()
+    spec = ctx.spec
+
+    rate = request.request_rate
+    if rate <= 0:
+        roots = spec.implementers_of(request.interface)
+        rate = max((u.behaviors.request_rate for u in roots), default=1.0) or 1.0
+
+    best: List[Optional[DeploymentPlan]] = [None]
+    best_score: List[Tuple[float, ...]] = [()]
+    prune_enabled = objective.supports_pruning
+
+    placements: List[Placement] = []
+    linkages: List[PlannedLinkage] = []
+    # Per placement: probability that a client request flows out of it
+    # (inbound prob x RRF, with RRF applied only at the first occurrence
+    # of the placement's configuration on the root path — matching
+    # load.compute_loads), and the set of configurations traversed so far.
+    out_probs: List[float] = []
+    seen_cfgs: List[frozenset] = []
+
+    def _enter(placement: Placement, inbound_prob: float, parent_idx: Optional[int]) -> None:
+        cfg = (placement.unit, placement.factor_values)
+        seen = seen_cfgs[parent_idx] if parent_idx is not None else frozenset()
+        if config_covered(ctx, seen, cfg):
+            out = inbound_prob
+        else:
+            out = inbound_prob * spec.unit(placement.unit).behaviors.rrf
+        placements.append(placement)
+        out_probs.append(out)
+        seen_cfgs.append(seen | {cfg})
+
+    def _leave() -> None:
+        placements.pop()
+        out_probs.pop()
+        seen_cfgs.pop()
+
+    # Fresh-provider candidates depend only on (interface); precompute
+    # lazily per interface — conditions, factors and implemented props
+    # are all search-state independent for a fixed request context.
+    _candidate_cache: Dict[str, List[Tuple[ComponentDef, Placement]]] = {}
+
+    def candidates_for(iface: str) -> List[Tuple[ComponentDef, Placement]]:
+        cached = _candidate_cache.get(iface)
+        if cached is None:
+            cached = []
+            for provider in spec.implementers_of(iface):
+                for node_info in ctx.network.nodes():
+                    placement = _instantiate(ctx, provider, node_info.name, request.context)
+                    if placement is None:
+                        continue
+                    if placement.implemented_props(iface) is None:
+                        continue
+                    cached.append((provider, placement))
+            _candidate_cache[iface] = cached
+        return cached
+
+    def try_complete() -> None:
+        stats.complete_plans += 1
+        plan = DeploymentPlan(
+            placements=list(placements),
+            linkages=list(linkages),
+            root=0,
+            client_node=request.client_node,
+        )
+        report = check_loads(ctx, plan, rate)
+        if not report.ok:
+            stats.load_rejected += 1
+            return
+        score = objective.score(ctx, plan, rate, report)
+        if best[0] is None or score < best_score[0]:
+            plan.score = score
+            best[0] = plan
+            best_score[0] = score
+
+    def search(frontier: List[Tuple[int, str]], partial_cost: float) -> None:
+        stats.nodes_expanded += 1
+        if prune_enabled and best[0] is not None and partial_cost >= best_score[0][0]:
+            stats.pruned += 1
+            return
+        if not frontier:
+            try_complete()
+            return
+        client_idx, iface = frontier[0]
+        rest = frontier[1:]
+        client_place = placements[client_idx]
+        client_unit = spec.unit(client_place.unit)
+        required = _required_props(ctx, client_unit, client_place.node, iface)
+        if required is None:
+            return  # malformed: client doesn't actually require this iface
+        edge_prob = out_probs[client_idx]
+
+        # (a) link to a provider already in the plan (DAG sharing).
+        for srv_idx, srv in enumerate(placements):
+            if srv_idx == client_idx:
+                continue
+            impl = srv.implemented_props(iface)
+            if impl is None:
+                continue
+            if _reaches(linkages, srv_idx, client_idx):
+                continue  # would create a cycle
+            if not ctx.reachable(client_place.node, srv.node):
+                continue
+            env = ctx.path_env(client_place.node, srv.node)
+            if not ctx.properties_compatible(required, impl, env):
+                continue
+            cost = (
+                objective.edge_cost(ctx, client_unit, client_place.node, srv.node, edge_prob)
+                if prune_enabled
+                else 0.0
+            )
+            linkages.append(PlannedLinkage(client_idx, srv_idx, iface))
+            search(rest, partial_cost + cost)
+            linkages.pop()
+
+        # (b) link to an installed placement from the deployment state.
+        in_plan_keys = {p.key for p in placements}
+        for installed in state.implementers_of(iface):
+            if installed.key in in_plan_keys:
+                continue
+            impl = installed.implemented_props(iface)
+            assert impl is not None
+            if not ctx.reachable(client_place.node, installed.node):
+                continue
+            env = ctx.path_env(client_place.node, installed.node)
+            if not ctx.properties_compatible(required, impl, env):
+                continue
+            cost = (
+                objective.edge_cost(
+                    ctx, client_unit, client_place.node, installed.node, edge_prob
+                )
+                if prune_enabled
+                else 0.0
+            )
+            srv_idx = len(placements)
+            _enter(installed, edge_prob, client_idx)
+            linkages.append(PlannedLinkage(client_idx, srv_idx, iface))
+            # Installed placements are already wired upstream: no new
+            # frontier entries for their requirements.
+            search(rest, partial_cost + cost)
+            linkages.pop()
+            _leave()
+
+        # (c) instantiate a fresh provider somewhere.
+        if len(placements) >= request.max_units:
+            return
+        for provider, placement in candidates_for(iface):
+            node = placement.node
+            if placement.key in in_plan_keys:
+                continue  # identical instance already placed: case (a)
+            impl = placement.implemented_props(iface)
+            assert impl is not None
+            if not ctx.reachable(client_place.node, node):
+                continue
+            env = ctx.path_env(client_place.node, node)
+            if not ctx.properties_compatible(required, impl, env):
+                continue
+            cost = 0.0
+            if prune_enabled:
+                cost = objective.edge_cost(
+                    ctx, client_unit, client_place.node, node, edge_prob
+                ) + objective.placement_cost(ctx, provider, node, reused=False)
+            srv_idx = len(placements)
+            _enter(placement, edge_prob, client_idx)
+            linkages.append(PlannedLinkage(client_idx, srv_idx, iface))
+            new_frontier = rest + [
+                (srv_idx, b.interface) for b in provider.requires
+            ]
+            search(new_frontier, partial_cost + cost)
+            linkages.pop()
+            _leave()
+
+    def root_acceptable(placement: Placement) -> bool:
+        """Client QoS expectations on the requested interface."""
+        if not request.required_properties:
+            return True
+        impl = placement.implemented_props(request.interface)
+        if impl is None:
+            return False
+        if not ctx.reachable(request.client_node, placement.node):
+            return False
+        env = ctx.path_env(request.client_node, placement.node)
+        return ctx.properties_compatible(request.required_properties, impl, env)
+
+    # Root candidates: reused installed placements first, then fresh ones.
+    root_nodes = (
+        [request.client_node]
+        if request.root_on_client
+        else [n.name for n in ctx.network.nodes()]
+    )
+    for installed in state.implementers_of(request.interface):
+        if installed.node not in root_nodes:
+            continue
+        if not root_acceptable(installed):
+            continue
+        root_unit = spec.unit(installed.unit)
+        _enter(installed, 1.0, None)
+        # The root-view penalty is known at root selection time; folding
+        # it into the partial cost keeps branch-and-bound sound *and*
+        # effective for view-rooted subtrees.
+        search([], objective.root_view_penalty if root_unit.is_view else 0.0)
+        _leave()
+    for root_unit in spec.implementers_of(request.interface):
+        for node in root_nodes:
+            placement = _instantiate(ctx, root_unit, node, request.context)
+            if placement is None:
+                continue
+            if placement.implemented_props(request.interface) is None:
+                continue
+            if not root_acceptable(placement):
+                continue
+            _enter(placement, 1.0, None)
+            frontier = [(0, b.interface) for b in root_unit.requires]
+            cost = objective.root_view_penalty if root_unit.is_view else 0.0
+            if prune_enabled:
+                cost += objective.placement_cost(ctx, root_unit, node, reused=False)
+            search(frontier, cost)
+            _leave()
+
+    return best[0]
+
+
+def _required_props(
+    ctx: PlanningContext, unit: ComponentDef, node: str, iface: str
+) -> Optional[Dict[str, Any]]:
+    for req_iface, props in ctx.resolved_requires(unit, node):
+        if req_iface == iface:
+            return props
+    return None
+
+
+def _instantiate(
+    ctx: PlanningContext,
+    unit: ComponentDef,
+    node: str,
+    context: Dict[str, Any],
+) -> Optional[Placement]:
+    """Condition 1 + factor binding; None if the unit can't live there."""
+    if not ctx.installable(unit, node, context):
+        return None
+    factors = ctx.resolve_factors(unit, node)
+    if any(v is None for v in factors.values()):
+        return None  # a Factor could not be bound from this environment
+    implemented = ctx.resolved_implements(unit, node)
+    return Placement(
+        unit=unit.name,
+        node=node,
+        factor_values=freeze_props(factors),
+        implemented=freeze_implemented(implemented),
+        reused=False,
+    )

@@ -1,0 +1,125 @@
+"""Step 1 of planning: enumerating valid component linkage graphs.
+
+"The planner starts off with the interface(s) requested by the client,
+and finds components that implement these interface(s).  It then
+recurses on each of these components by looking at their required
+interfaces, stopping when it encounters a component without any
+required interfaces." (§3.3)
+
+Matching here is at the *interface-name* level (the paper's simple
+string matching); property compatibility is step 2's business because it
+depends on where components land.  Graphs are trees (every required
+interface of every unit gets its own provider); component *sharing*
+happens at mapping time through placement reuse.
+
+Because views such as ``ViewMailServer`` both implement and require the
+same interface, the space is infinite; enumeration is bounded by
+``max_units`` per graph and ``max_repeat`` occurrences of one unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..spec import ComponentDef, ServiceSpec
+
+__all__ = ["LinkageGraph", "enumerate_linkage_graphs", "valid_chains"]
+
+
+@dataclass(frozen=True)
+class LinkageGraph:
+    """One valid linkage tree: unit names plus (client, server, iface) edges.
+
+    Index 0 is always the root (the unit that implements the client's
+    requested interface).
+    """
+
+    units: Tuple[str, ...]
+    edges: Tuple[Tuple[int, int, str], ...]
+
+    @property
+    def is_chain(self) -> bool:
+        """True when the graph is a simple path rooted at index 0."""
+        out_degree: Dict[int, int] = {}
+        for client, _server, _iface in self.edges:
+            out_degree[client] = out_degree.get(client, 0) + 1
+            if out_degree[client] > 1:
+                return False
+        return True
+
+    def chain_units(self) -> List[str]:
+        """Units in root-to-leaf order (chains only)."""
+        if not self.is_chain:
+            raise ValueError("not a chain")
+        nxt = {client: server for client, server, _ in self.edges}
+        order = [0]
+        while order[-1] in nxt:
+            order.append(nxt[order[-1]])
+        return [self.units[i] for i in order]
+
+    def __repr__(self) -> str:
+        if self.is_chain:
+            return "<LinkageGraph " + " -> ".join(self.chain_units()) + ">"
+        return f"<LinkageGraph units={list(self.units)} edges={list(self.edges)}>"
+
+
+def enumerate_linkage_graphs(
+    spec: ServiceSpec,
+    interface: str,
+    max_units: int = 8,
+    max_repeat: int = 2,
+) -> List[LinkageGraph]:
+    """All bounded linkage trees able to satisfy ``interface``.
+
+    Deterministic order: graphs are produced smallest-first by unit
+    count, then by the spec's declaration order.
+    """
+    results: List[LinkageGraph] = []
+    roots = spec.implementers_of(interface)
+
+    def expand(
+        units: List[str],
+        edges: List[Tuple[int, int, str]],
+        frontier: List[Tuple[int, str]],
+    ) -> None:
+        if not frontier:
+            results.append(LinkageGraph(tuple(units), tuple(edges)))
+            return
+        if len(units) >= max_units and frontier:
+            return
+        client_idx, iface = frontier[0]
+        rest = frontier[1:]
+        for provider in spec.implementers_of(iface):
+            if units.count(provider.name) >= max_repeat:
+                continue
+            if len(units) + 1 > max_units:
+                continue
+            new_idx = len(units)
+            units.append(provider.name)
+            edges.append((client_idx, new_idx, iface))
+            new_frontier = rest + [
+                (new_idx, b.interface) for b in provider.requires
+            ]
+            expand(units, edges, new_frontier)
+            units.pop()
+            edges.pop()
+
+    for root in roots:
+        units = [root.name]
+        frontier = [(0, b.interface) for b in root.requires]
+        expand(units, [], frontier)
+
+    results.sort(key=lambda g: (len(g.units), g.units))
+    return results
+
+
+def valid_chains(
+    spec: ServiceSpec, interface: str, max_units: int = 8, max_repeat: int = 2
+) -> List[List[str]]:
+    """The chain-shaped subset as unit-name lists (Figure 3's content)."""
+    return [
+        g.chain_units()
+        for g in enumerate_linkage_graphs(spec, interface, max_units, max_repeat)
+        if g.is_chain
+    ]

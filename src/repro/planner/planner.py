@@ -1,0 +1,173 @@
+"""High-level planning facade used by the Smock runtime.
+
+Owns the :class:`PlanningContext`, the persistent
+:class:`DeploymentState`, and capacity reservations: when a plan is
+*committed*, its steady-state CPU and bandwidth demands are reserved on
+the network model so later plans see reduced free capacity (condition 3
+across successive client requests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..network import CredentialTranslator, Network
+from ..spec import ComponentDef, ServiceSpec
+from .compat import PlanningContext
+from .dp_chain import plan_dp_chain
+from .exhaustive import _instantiate, plan_exhaustive
+from .load import LoadReport, check_loads, compute_loads
+from .objectives import ExpectedLatency, Objective
+from .partial_order import plan_partial_order
+from .plan import DeploymentPlan, DeploymentState, Placement, PlanRequest
+
+__all__ = ["Planner", "PlanningError", "ALGORITHMS"]
+
+
+class PlanningError(RuntimeError):
+    """No deployment satisfying all constraints exists."""
+
+
+ALGORITHMS: Dict[str, Callable[..., Optional[DeploymentPlan]]] = {
+    "exhaustive": plan_exhaustive,
+    "dp_chain": plan_dp_chain,
+    "partial_order": plan_partial_order,
+}
+
+
+class Planner:
+    """The framework's planning module (paper §3.3)."""
+
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        network: Network,
+        translator: CredentialTranslator,
+        objective: Optional[Objective] = None,
+        algorithm: str = "exhaustive",
+    ) -> None:
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
+            )
+        self.ctx = PlanningContext(spec, network, translator)
+        self.state = DeploymentState()
+        self.objective = objective or ExpectedLatency()
+        self.algorithm = algorithm
+
+    @property
+    def spec(self) -> ServiceSpec:
+        return self.ctx.spec
+
+    @property
+    def network(self) -> Network:
+        return self.ctx.network
+
+    # -- bootstrap -----------------------------------------------------------
+    def preinstall(self, unit_name: str, node: str) -> Placement:
+        """Register an already-running component (e.g. the primary
+        MailServer the service operator stood up in New York)."""
+        unit = self.spec.unit(unit_name)
+        placement = _instantiate(self.ctx, unit, node, {})
+        if placement is None:
+            raise PlanningError(
+                f"{unit_name!r} does not satisfy its installation conditions on {node!r}"
+            )
+        return self.state.add(placement)
+
+    # -- planning ---------------------------------------------------------------
+    def plan(
+        self,
+        request: PlanRequest,
+        algorithm: Optional[str] = None,
+        objective: Optional[Objective] = None,
+    ) -> DeploymentPlan:
+        """Compute the best deployment for ``request``.
+
+        Raises :class:`PlanningError` when no valid mapping exists.
+        """
+        fn = ALGORITHMS[algorithm or self.algorithm]
+        plan = fn(self.ctx, request, self.state, objective or self.objective)
+        if plan is None:
+            raise PlanningError(
+                f"no valid deployment for {request.interface!r} "
+                f"at {request.client_node!r}"
+            )
+        return plan
+
+    def commit(self, plan: DeploymentPlan, request_rate: float = 0.0) -> LoadReport:
+        """Accept a plan: install its placements and reserve capacity."""
+        if request_rate <= 0:
+            root_unit = self.spec.unit(plan.placements[plan.root].unit)
+            request_rate = root_unit.behaviors.request_rate or 1.0
+        report = compute_loads(self.ctx, plan, request_rate)
+
+        for node_name, demand in report.node_cpu.items():
+            self.network.node(node_name).reserved_cpu += demand
+        by_name = {l.name: l for l in self.network.links()}
+        for link_name, mbps in report.link_mbps.items():
+            by_name[link_name].reserved_mbps += mbps
+        self.network.touch()
+
+        self.state.absorb(plan, report.inbound)
+        return report
+
+    def plan_and_commit(
+        self, request: PlanRequest, algorithm: Optional[str] = None
+    ) -> Tuple[DeploymentPlan, LoadReport]:
+        plan = self.plan(request, algorithm)
+        report = self.commit(plan, request.request_rate)
+        return plan, report
+
+    def what_if(
+        self,
+        request: PlanRequest,
+        mutate: Callable[[Network], None],
+        algorithm: Optional[str] = None,
+    ) -> Optional[DeploymentPlan]:
+        """Plan against a hypothetical network without touching live state.
+
+        ``mutate`` receives a deep snapshot of the network and applies
+        the hypothesis (a link upgrade, a node loss...).  Returns the
+        plan the current deployment state would yield under that
+        hypothesis, or None if none exists — the live network, caches
+        and reservations are untouched.  Useful for capacity questions
+        ("would a VPN on this link retire the crypto pair?") before
+        committing to infrastructure changes.
+        """
+        snapshot = self.ctx.network.snapshot()
+        mutate(snapshot)
+        snapshot.touch()
+        hypothetical = PlanningContext(self.spec, snapshot, self.ctx.translator)
+        fn = ALGORITHMS[algorithm or self.algorithm]
+        return fn(hypothetical, request, self.state, self.objective)
+
+    def plan_interfaces(
+        self,
+        interfaces: List[str],
+        client_node: str,
+        context: Optional[Dict[str, Any]] = None,
+        request_rate: float = 0.0,
+        algorithm: Optional[str] = None,
+    ) -> List[DeploymentPlan]:
+        """Satisfy a client request "for one or more service interfaces".
+
+        Each interface is planned and committed in turn against shared
+        deployment state, so the deployments reuse each other's
+        components — the paper's reading of multi-interface requests as
+        one client attaching to several facets of a service.  Raises
+        :class:`PlanningError` on the first unsatisfiable interface
+        (already-committed interfaces stay deployed).
+        """
+        plans = []
+        for interface in interfaces:
+            request = PlanRequest(
+                interface=interface,
+                client_node=client_node,
+                context=dict(context or {}),
+                request_rate=request_rate,
+            )
+            plan, _report = self.plan_and_commit(request, algorithm)
+            plans.append(plan)
+        return plans

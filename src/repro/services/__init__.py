@@ -1,0 +1,1 @@
+"""Example services built on the framework."""

@@ -1,0 +1,586 @@
+"""Runtime implementations of the mail-service components.
+
+These are the live counterparts of the Figure 2 units:
+
+- :class:`MailServerComponent` — the primary store (all accounts, all
+  sensitivity levels, full keyrings).
+- :class:`ViewMailServerComponent` — a data view: state bounded by its
+  ``TrustLevel`` factor, keys released only up to that level,
+  write-back coherence through its *planned* upstream linkage (so
+  coherence traffic crosses Encryptor/Decryptor pairs exactly like
+  request traffic).
+- :class:`EncryptorComponent` / :class:`DecryptorComponent` — relays
+  that protect any operation crossing insecure links with a session key.
+- :class:`MailClientComponent` — full client (send/receive + address
+  book); :class:`ViewMailClientComponent` — the object view without the
+  address book.
+
+Messages are encrypted under the *sender's* per-level key by the client
+and transformed to the *recipient's* key by the first store that holds
+both keys — "the service transparently encrypts messages according to
+the sender's sensitivity upon a send, and transforms these messages to
+those encrypted to the recipient's sensitivity upon a receive."
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from ...coherence import Update
+from ...smock import RuntimeComponent, ServiceRequest, ServiceResponse
+from .crypto import CIPHER_OVERHEAD_BYTES, CryptoError, KeyRing, decrypt, derive_key, encrypt
+from .mailstore import MailStore, StoredMessage
+
+__all__ = [
+    "MailServerComponent",
+    "ViewMailServerComponent",
+    "EncryptorComponent",
+    "DecryptorComponent",
+    "MailClientComponent",
+    "ViewMailClientComponent",
+    "MAIL_COMPONENT_CLASSES",
+]
+
+#: session key protecting Encryptor<->Decryptor traffic
+_SESSION_KEY = derive_key("smock-session", "mail")
+
+_MSG_ENVELOPE_BYTES = 96
+
+
+class _StoreBase(RuntimeComponent):
+    """Shared mail-store behavior of MailServer and ViewMailServer."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.store = MailStore(self._sensitivity_bound())
+        self.keyrings: Dict[str, KeyRing] = {}
+
+    def _sensitivity_bound(self) -> Optional[int]:
+        return None
+
+    def on_linked(self) -> None:
+        """Provision the service's account roster on this store.
+
+        The roster comes from ``runtime.service_state['mail_users']``;
+        views receive only the keys their trust level allows.  Every
+        user starts with the rest of the roster as contacts.
+        """
+        roster = tuple(self.runtime.service_state.get("mail_users", ()))
+        for user in roster:
+            if not self.store.has_account(user):
+                self.provision_account(user, tuple(u for u in roster if u != user))
+
+    # -- account management (service setup, not timed) ------------------------
+    def provision_account(self, user: str, contacts: Tuple[str, ...] = ()) -> None:
+        """Create an account + keyring (bounded for views)."""
+        if not self.store.has_account(user):
+            self.store.create_account(user, contacts)
+        ring = KeyRing(user)
+        bound = self._sensitivity_bound()
+        self.keyrings[user] = ring if bound is None else ring.subset(bound)
+
+    def _transform_to_recipient(self, msg: Dict[str, Any]) -> StoredMessage:
+        """Decrypt under the sender's key, re-encrypt under the
+        recipient's (the 'transform on receive' the paper describes,
+        done eagerly at store time)."""
+        sender, recipient = msg["sender"], msg["recipient"]
+        sensitivity = msg["sensitivity"]
+        body = msg["body"]
+        sender_ring = self.keyrings.get(sender)
+        recipient_ring = self.keyrings.get(recipient)
+        if sender_ring is not None and recipient_ring is not None:
+            plaintext = decrypt(sender_ring.key_for(sensitivity), body)
+            body = encrypt(recipient_ring.key_for(sensitivity), plaintext)
+        return StoredMessage(
+            sender=sender, recipient=recipient, sensitivity=sensitivity, body=body
+        )
+
+    @staticmethod
+    def _fetch_args(req: ServiceRequest) -> Tuple[str, int, Optional[int]]:
+        user = req.payload.get("user") or req.user or ""
+        return (
+            user,
+            int(req.payload.get("since_id", 0)),
+            req.payload.get("max_sensitivity"),
+        )
+
+    @staticmethod
+    def _messages_response(messages: List[StoredMessage]) -> ServiceResponse:
+        size = sum(m.size_bytes for m in messages) + 256
+        return ServiceResponse(
+            payload={"messages": messages, "count": len(messages)}, size_bytes=size
+        )
+
+    def op_sync_prepare(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        """Directory lock acquisition for an incoming write-back batch
+        (both the primary and intermediate view replicas can grant)."""
+        return ServiceResponse(payload={"granted": True}, size_bytes=128)
+        yield  # pragma: no cover - generator marker
+
+
+class MailServerComponent(_StoreBase):
+    """The primary mail server (Figure 2's ``MailServer``)."""
+
+    def op_store_message(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        msg = self._transform_to_recipient(req.payload)
+        self.store.store(msg)
+        return ServiceResponse(payload={"msg_id": msg.msg_id}, size_bytes=256)
+        yield  # pragma: no cover - generator marker
+
+    def op_fetch_mail(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        user, since_id, max_s = self._fetch_args(req)
+        return self._messages_response(self.store.fetch(user, since_id, max_s))
+        yield  # pragma: no cover - generator marker
+
+    def op_sync_batch(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        """Apply a replica's write-back batch; fan out invalidations."""
+        messages: List[StoredMessage] = req.payload["messages"]
+        updates: List[Update] = req.payload["updates"]
+        for msg in messages:
+            self.store.store(msg)
+        self.coherence.broadcast_invalidations(
+            family=self.unit.name,
+            batch=updates,
+            origin_config=req.payload.get("origin_config"),
+        )
+        return ServiceResponse(payload={"applied": len(messages)}, size_bytes=256)
+        yield  # pragma: no cover - generator marker
+
+    def op_create_account(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        self.provision_account(req.payload["user"], tuple(req.payload.get("contacts", ())))
+        return ServiceResponse(payload={"user": req.payload["user"]}, size_bytes=128)
+        yield  # pragma: no cover - generator marker
+
+    def op_contacts(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        user = req.payload.get("user") or req.user or ""
+        contacts = self.store.contacts(user) if self.store.has_account(user) else []
+        return ServiceResponse(payload={"contacts": contacts}, size_bytes=256)
+        yield  # pragma: no cover - generator marker
+
+    def op_create_folder(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        user = req.payload.get("user") or req.user or ""
+        try:
+            self.store.create_folder(user, req.payload.get("folder", ""))
+        except Exception as exc:  # MailStoreError -> failure response
+            return ServiceResponse.failure(str(exc))
+        return ServiceResponse(
+            payload={"folders": self.store.folder_names(user)}, size_bytes=256
+        )
+        yield  # pragma: no cover - generator marker
+
+    def op_move_mail(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        user = req.payload.get("user") or req.user or ""
+        try:
+            msg = self.store.move_message(
+                user, int(req.payload["msg_id"]), req.payload.get("folder", "")
+            )
+        except Exception as exc:
+            return ServiceResponse.failure(str(exc))
+        return ServiceResponse(payload={"msg_id": msg.msg_id}, size_bytes=128)
+        yield  # pragma: no cover - generator marker
+
+
+class ViewMailServerComponent(_StoreBase):
+    """A data-view replica bounded by its ``TrustLevel`` factor."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.stale_users: set = set()
+        self.replica_id: Optional[int] = None
+        self.syncs_performed = 0
+        self.upstream_forwards = 0
+        self._daemon_running = False
+
+    def on_linked(self) -> None:
+        """Start the coherence daemon for time-driven policies.
+
+        Count-based policies flush synchronously on the triggering
+        update; a *time-driven* replica must also reconcile when the
+        interval elapses with updates pending but no new traffic — that
+        needs a background process polling the directory.
+        """
+        super().on_linked()
+        if self.replica_id is None:
+            return
+        from ...coherence import TimePolicy
+
+        entry = self.coherence.entry(self.replica_id)
+        if isinstance(entry.policy, TimePolicy) and not self._daemon_running:
+            self._daemon_running = True
+            self.sim.process(
+                self._coherence_daemon(entry.policy.interval_ms),
+                name=f"coherence-daemon:{self.instance_id}",
+            )
+
+    def _coherence_daemon(self, interval_ms: float) -> Generator[Any, Any, None]:
+        """Event-driven periodic reconciliation.
+
+        While the replica is clean the daemon blocks on a wake event
+        (so an idle simulation can drain its event list); the first
+        buffered update wakes it, it sleeps out the interval, flushes if
+        still due, and goes back to waiting.
+        """
+        directory = self.coherence
+        while self._daemon_running:
+            if self.replica_id is None:
+                break
+            try:
+                entry = directory.entry(self.replica_id)
+            except KeyError:
+                break  # replica retired (replanning)
+            if not entry.dirty:
+                self._wake = self.sim.event()
+                yield self._wake
+                continue
+            yield self.sim.timeout(interval_ms)
+            try:
+                due = directory.needs_flush(self.replica_id, self.sim.now)
+            except KeyError:
+                break
+            if due:
+                yield from self._sync()
+
+    def _notify_daemon(self) -> None:
+        wake = getattr(self, "_wake", None)
+        if wake is not None and not wake.triggered:
+            wake.succeed()
+
+    def stop_daemon(self) -> None:
+        self._daemon_running = False
+        self._notify_daemon()
+
+    @property
+    def trust_level(self) -> int:
+        return int(self.factor_values.get("TrustLevel", 1))
+
+    def _sensitivity_bound(self) -> Optional[int]:
+        return int(self.factor_values.get("TrustLevel", 1))
+
+    @property
+    def config(self) -> Tuple[str, Tuple[Tuple[str, Any], ...]]:
+        return (self.unit.name, tuple(sorted(self.factor_values.items())))
+
+    # -- coherence hooks -----------------------------------------------------
+    def on_invalidate(self, updates: List[Update]) -> None:
+        for u in updates:
+            recipient = u.attr("recipient")
+            if recipient is not None:
+                self.stale_users.add(recipient)
+
+    def _sync(self) -> Generator[Any, Any, None]:
+        """Reconcile with upstream through the planned linkage.
+
+        Two-phase, like a directory protocol: a small prepare/lock round
+        trip to the upstream directory entry, then the batch transfer
+        with the commit acknowledgement.
+        """
+        assert self.replica_id is not None
+        directory = self.coherence
+        batch, units = directory.drain(self.replica_id)
+        if not batch:
+            return
+        prepare = ServiceRequest(
+            op="sync_prepare",
+            payload={"origin_config": self.config, "units": units},
+            size_bytes=128,
+        )
+        prep_resp = yield from self.call("ServerInterface", prepare)
+        if not prep_resp.ok:
+            directory.requeue(self.replica_id, batch)
+            return
+        messages = [u.attributes["message"] for u in batch if "message" in u.attributes]
+        size = sum(u.size_bytes for u in batch) + 512
+        req = ServiceRequest(
+            op="sync_batch",
+            payload={
+                "messages": messages,
+                "updates": [self._strip_message(u) for u in batch],
+                "units": units,
+                "origin_config": self.config,
+            },
+            size_bytes=size,
+        )
+        resp = yield from self.call("ServerInterface", req)
+        if resp.ok:
+            directory.record_flush(self.replica_id, self.sim.now, batch)
+            self.syncs_performed += 1
+        else:
+            directory.requeue(self.replica_id, batch)
+
+    @staticmethod
+    def _strip_message(update: Update) -> Update:
+        """Metadata-only copy for invalidation bookkeeping upstream."""
+        attrs = {k: v for k, v in update.attributes.items() if k != "message"}
+        return Update(
+            op=update.op,
+            attributes=attrs,
+            size_bytes=update.size_bytes,
+            multiplicity=update.multiplicity,
+        )
+
+    # -- operations -----------------------------------------------------------------
+    def op_store_message(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        sensitivity = int(req.payload["sensitivity"])
+        multiplicity = int(req.payload.get("multiplicity", 1))
+        if not self.store.accepts(sensitivity):
+            # Above our trust: never stored here; forward synchronously.
+            self.upstream_forwards += 1
+            resp = yield from self.call("ServerInterface", req)
+            return resp
+        msg = self._transform_to_recipient(req.payload)
+        self.store.store(msg)
+        assert self.replica_id is not None
+        update = Update(
+            op="store_message",
+            attributes={
+                "recipient": msg.recipient,
+                "sensitivity": msg.sensitivity,
+                "message": msg,
+            },
+            size_bytes=msg.size_bytes,
+            multiplicity=multiplicity,
+        )
+        must_flush = self.coherence.on_local_update(
+            self.replica_id, update, self.sim.now
+        )
+        self._notify_daemon()
+        if must_flush:
+            # Write-back reconciliation blocks the triggering request —
+            # the source of the DS500/DS1000 group separation in Fig. 7.
+            yield from self._sync()
+        return ServiceResponse(payload={"msg_id": msg.msg_id}, size_bytes=256)
+
+    def op_fetch_mail(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        user, since_id, max_s = self._fetch_args(req)
+        needs_upstream = user in self.stale_users or (
+            max_s is not None and max_s > self.trust_level
+        )
+        if not needs_upstream:
+            return self._messages_response(self.store.fetch(user, since_id, max_s))
+        # Miss path: fetch through the planned upstream linkage.
+        self.upstream_forwards += 1
+        resp = yield from self.call("ServerInterface", req)
+        if resp.ok:
+            for msg in resp.payload.get("messages", ()):
+                if self.store.accepts(msg.sensitivity) and msg.msg_id not in {
+                    m.msg_id for m in self.store.ensure_account(user).inbox
+                }:
+                    self.store.ensure_account(user).inbox.append(msg)
+            self.stale_users.discard(user)
+        return resp
+
+    def op_create_folder(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        """Folder structure lives at the primary: write through."""
+        self.upstream_forwards += 1
+        resp = yield from self.call("ServerInterface", req)
+        return resp
+
+    def op_move_mail(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        """Folder structure lives at the primary: write through."""
+        self.upstream_forwards += 1
+        resp = yield from self.call("ServerInterface", req)
+        return resp
+
+    def op_sync_batch(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        """A downstream replica reconciles through us: apply, then chain."""
+        messages: List[StoredMessage] = req.payload["messages"]
+        updates: List[Update] = req.payload["updates"]
+        for msg in messages:
+            if self.store.accepts(msg.sensitivity):
+                self.store.store(msg)
+        assert self.replica_id is not None
+        must_flush = False
+        for msg, update in zip(messages, updates):
+            chained = Update(
+                op=update.op,
+                attributes={**dict(update.attributes), "message": msg},
+                size_bytes=update.size_bytes,
+                multiplicity=update.multiplicity,
+            )
+            if self.coherence.on_local_update(
+                self.replica_id, chained, self.sim.now
+            ):
+                must_flush = True
+        self._notify_daemon()
+        if must_flush:
+            yield from self._sync()
+        return ServiceResponse(payload={"applied": len(messages)}, size_bytes=256)
+
+
+class EncryptorComponent(RuntimeComponent):
+    """Protects component interactions across insecure links.
+
+    Any operation is wrapped: the payload is pickled and encrypted under
+    the session key, forwarded over ``DecryptorInterface``, and the
+    (encrypted) response unwrapped.
+    """
+
+    def dispatch(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        blob = encrypt(_SESSION_KEY, pickle.dumps((req.op, req.payload)))
+        wrapped = req.child(
+            op="relay",
+            payload={"blob": blob},
+            size_bytes=req.size_bytes + CIPHER_OVERHEAD_BYTES,
+        )
+        resp = yield from self.call("DecryptorInterface", wrapped)
+        if not resp.ok or "blob" not in resp.payload:
+            return resp
+        payload = pickle.loads(decrypt(_SESSION_KEY, resp.payload["blob"]))
+        return ServiceResponse(
+            payload=payload,
+            size_bytes=max(64, resp.size_bytes - CIPHER_OVERHEAD_BYTES),
+            ok=resp.ok,
+            error=resp.error,
+        )
+
+
+class DecryptorComponent(RuntimeComponent):
+    """The receiving end of an Encryptor across an insecure link."""
+
+    def op_relay(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        try:
+            op, payload = pickle.loads(decrypt(_SESSION_KEY, req.payload["blob"]))
+        except (CryptoError, KeyError) as exc:
+            return ServiceResponse.failure(f"relay unwrap failed: {exc}")
+        inner = req.child(
+            op=op,
+            payload=payload,
+            size_bytes=max(64, req.size_bytes - CIPHER_OVERHEAD_BYTES),
+        )
+        resp = yield from self.call("ServerInterface", inner)
+        blob = encrypt(_SESSION_KEY, pickle.dumps(resp.payload))
+        return ServiceResponse(
+            payload={"blob": blob},
+            size_bytes=resp.size_bytes + CIPHER_OVERHEAD_BYTES,
+            ok=resp.ok,
+            error=resp.error,
+        )
+
+
+class MailClientComponent(RuntimeComponent):
+    """Full-featured client: send, receive, address book."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.keyrings: Dict[str, KeyRing] = {}
+        self.sends = 0
+        self.fetches = 0
+
+    def _ring(self, user: str) -> KeyRing:
+        ring = self.keyrings.get(user)
+        if ring is None:
+            ring = KeyRing(user)
+            self.keyrings[user] = ring
+        return ring
+
+    def op_send_mail(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        """Encrypt under the sender's level key, then store upstream."""
+        self.sends += 1
+        sender = req.user or req.payload.get("sender", "")
+        sensitivity = int(req.payload["sensitivity"])
+        body_text = req.payload.get("body", b"")
+        if isinstance(body_text, str):
+            body_text = body_text.encode()
+        body = encrypt(self._ring(sender).key_for(sensitivity), body_text)
+        downstream = req.child(
+            op="store_message",
+            payload={
+                "sender": sender,
+                "recipient": req.payload["recipient"],
+                "sensitivity": sensitivity,
+                "body": body,
+                "multiplicity": req.payload.get("multiplicity", 1),
+            },
+            size_bytes=len(body) + _MSG_ENVELOPE_BYTES,
+        )
+        resp = yield from self.call("ServerInterface", downstream)
+        return resp
+
+    def op_fetch_mail(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        """Fetch and decrypt this user's new messages."""
+        self.fetches += 1
+        user = req.user or req.payload.get("user", "")
+        downstream = req.child(
+            op="fetch_mail",
+            payload={
+                "user": user,
+                "since_id": req.payload.get("since_id", 0),
+                "max_sensitivity": req.payload.get("max_sensitivity"),
+            },
+            size_bytes=256,
+        )
+        resp = yield from self.call("ServerInterface", downstream)
+        if not resp.ok:
+            return resp
+        ring = self._ring(user)
+        bodies = []
+        for msg in resp.payload.get("messages", ()):
+            try:
+                bodies.append(decrypt(ring.key_for(msg.sensitivity), msg.body))
+            except CryptoError:
+                bodies.append(None)  # key not held at this level
+        return ServiceResponse(
+            payload={"messages": resp.payload.get("messages", []), "bodies": bodies},
+            size_bytes=resp.size_bytes,
+        )
+
+    def op_address_book(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        """Full-client extra feature (absent from the object view)."""
+        downstream = req.child(
+            op="contacts",
+            payload={"user": req.user or req.payload.get("user", "")},
+            size_bytes=128,
+        )
+        resp = yield from self.call("ServerInterface", downstream)
+        return resp
+
+    def op_create_folder(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        """Folder management — also a full-client-only feature."""
+        downstream = req.child(
+            op="create_folder",
+            payload={
+                "user": req.user or req.payload.get("user", ""),
+                "folder": req.payload.get("folder", ""),
+            },
+            size_bytes=128,
+        )
+        resp = yield from self.call("ServerInterface", downstream)
+        return resp
+
+    def op_move_mail(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        downstream = req.child(
+            op="move_mail",
+            payload={
+                "user": req.user or req.payload.get("user", ""),
+                "msg_id": req.payload.get("msg_id"),
+                "folder": req.payload.get("folder", ""),
+            },
+            size_bytes=128,
+        )
+        resp = yield from self.call("ServerInterface", downstream)
+        return resp
+
+
+class ViewMailClientComponent(MailClientComponent):
+    """Object view of the client: send/receive only — no address book,
+    no folder management.
+
+    "ViewMailClient exemplifies an object view, which restricts the
+    functionality of the MailClient."
+    """
+
+    op_address_book = None  # type: ignore[assignment]
+    op_create_folder = None  # type: ignore[assignment]
+    op_move_mail = None  # type: ignore[assignment]
+
+
+#: unit name -> runtime class, for SmockRuntime.register_component
+MAIL_COMPONENT_CLASSES = {
+    "MailServer": MailServerComponent,
+    "ViewMailServer": ViewMailServerComponent,
+    "Encryptor": EncryptorComponent,
+    "Decryptor": DecryptorComponent,
+    "MailClient": MailClientComponent,
+    "ViewMailClient": ViewMailClientComponent,
+}

@@ -1,0 +1,188 @@
+"""Mail state: accounts, folders, contacts, messages.
+
+"In addition to traditional mail functionality — user accounts, folders,
+contact lists, and the ability to send and receive e-mail, our example
+service allows a user to associate a sensitivity level with each
+message."
+
+The same store class backs both the primary ``MailServer`` (unbounded
+sensitivity) and ``ViewMailServer`` data views (``max_sensitivity``
+bound): a view's store refuses messages above its bound, which is the
+state-subset semantics the planner's trust conditions protect.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["StoredMessage", "Mailbox", "MailStore", "MailStoreError"]
+
+_message_ids = itertools.count(1)
+
+
+class MailStoreError(ValueError):
+    """Unknown account, sensitivity violation, or malformed message."""
+
+
+@dataclass(frozen=True)
+class StoredMessage:
+    """One e-mail message as held by a store (body already encrypted)."""
+
+    sender: str
+    recipient: str
+    sensitivity: int
+    body: bytes
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.sensitivity <= 5:
+            raise MailStoreError(f"sensitivity out of range: {self.sensitivity}")
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.body) + 96  # headers/envelope estimate
+
+
+@dataclass
+class Mailbox:
+    """Folders of one account.
+
+    ``inbox`` and ``sent`` always exist; users may add custom folders
+    and move messages between them ("traditional mail functionality —
+    user accounts, folders, contact lists", §2).
+    """
+
+    folders: Dict[str, List[StoredMessage]] = field(
+        default_factory=lambda: {"inbox": [], "sent": []}
+    )
+    contacts: List[str] = field(default_factory=list)
+
+    @property
+    def inbox(self) -> List[StoredMessage]:
+        return self.folders["inbox"]
+
+    @property
+    def sent(self) -> List[StoredMessage]:
+        return self.folders["sent"]
+
+    def folder(self, name: str) -> List[StoredMessage]:
+        try:
+            return self.folders[name]
+        except KeyError:
+            raise MailStoreError(f"no folder {name!r}") from None
+
+
+class MailStore:
+    """Accounts + folders, optionally bounded by sensitivity.
+
+    ``max_sensitivity=None`` is the primary (full state); an integer
+    bound makes this a data-view store that only accepts messages at or
+    below the bound.
+    """
+
+    def __init__(self, max_sensitivity: Optional[int] = None) -> None:
+        if max_sensitivity is not None and not 1 <= max_sensitivity <= 5:
+            raise MailStoreError(f"bad sensitivity bound {max_sensitivity}")
+        self.max_sensitivity = max_sensitivity
+        self._accounts: Dict[str, Mailbox] = {}
+        self.messages_stored = 0
+
+    # -- accounts -----------------------------------------------------------
+    def create_account(self, user: str, contacts: Iterable[str] = ()) -> Mailbox:
+        if user in self._accounts:
+            raise MailStoreError(f"account {user!r} already exists")
+        box = Mailbox(contacts=list(contacts))
+        self._accounts[user] = box
+        return box
+
+    def has_account(self, user: str) -> bool:
+        return user in self._accounts
+
+    def ensure_account(self, user: str) -> Mailbox:
+        if user not in self._accounts:
+            self._accounts[user] = Mailbox()
+        return self._accounts[user]
+
+    def mailbox(self, user: str) -> Mailbox:
+        try:
+            return self._accounts[user]
+        except KeyError:
+            raise MailStoreError(f"no account {user!r}") from None
+
+    def users(self) -> List[str]:
+        return sorted(self._accounts)
+
+    def contacts(self, user: str) -> List[str]:
+        return list(self.mailbox(user).contacts)
+
+    def add_contact(self, user: str, contact: str) -> None:
+        box = self.mailbox(user)
+        if contact not in box.contacts:
+            box.contacts.append(contact)
+
+    # -- folders ------------------------------------------------------------
+    def create_folder(self, user: str, name: str) -> None:
+        box = self.mailbox(user)
+        if not name:
+            raise MailStoreError("folder name must be non-empty")
+        if name in box.folders:
+            raise MailStoreError(f"folder {name!r} already exists")
+        box.folders[name] = []
+
+    def folder_names(self, user: str) -> List[str]:
+        return sorted(self.mailbox(user).folders)
+
+    def move_message(self, user: str, msg_id: int, dest: str) -> StoredMessage:
+        """Move one message from whatever folder holds it into ``dest``."""
+        box = self.mailbox(user)
+        target = box.folder(dest)
+        for folder in box.folders.values():
+            for i, msg in enumerate(folder):
+                if msg.msg_id == msg_id:
+                    if folder is target:
+                        return msg
+                    folder.pop(i)
+                    target.append(msg)
+                    return msg
+        raise MailStoreError(f"{user!r} has no message {msg_id}")
+
+    # -- messages --------------------------------------------------------------
+    def accepts(self, sensitivity: int) -> bool:
+        return self.max_sensitivity is None or sensitivity <= self.max_sensitivity
+
+    def store(self, message: StoredMessage) -> None:
+        """File into the recipient's inbox and the sender's sent folder."""
+        if not self.accepts(message.sensitivity):
+            raise MailStoreError(
+                f"message sensitivity {message.sensitivity} exceeds store bound "
+                f"{self.max_sensitivity}"
+            )
+        self.ensure_account(message.recipient).inbox.append(message)
+        if self.has_account(message.sender):
+            self.mailbox(message.sender).sent.append(message)
+        self.messages_stored += 1
+
+    def fetch(
+        self,
+        user: str,
+        since_id: int = 0,
+        max_sensitivity: Optional[int] = None,
+    ) -> List[StoredMessage]:
+        """Inbox messages newer than ``since_id`` within the bound."""
+        box = self.ensure_account(user)
+        bound = max_sensitivity
+        if self.max_sensitivity is not None:
+            bound = min(bound, self.max_sensitivity) if bound is not None else self.max_sensitivity
+        return [
+            m
+            for m in box.inbox
+            if m.msg_id > since_id and (bound is None or m.sensitivity <= bound)
+        ]
+
+    def inbox_size(self, user: str) -> int:
+        return len(self.ensure_account(user).inbox)
+
+    def __len__(self) -> int:
+        return len(self._accounts)

@@ -1,0 +1,223 @@
+"""Declarative specification of the security-sensitive mail service.
+
+This is the *completed* version of the paper's Figure 2 (which is
+"incomplete" by its own caption).  Completions, and why:
+
+- ``TrustLevel`` is declared ``Match: AtLeast``: the paper's example has
+  ``MailClient`` requiring ``TrustLevel = 4`` linked to a ``MailServer``
+  implementing ``TrustLevel = 5`` (Figure 6, New York), so requirement
+  matching on this property must be ordered, not exact.
+- The ``Encryptor`` implements ``TrustLevel = ANY`` on ServerInterface:
+  an encryption relay is transparent to trust — it delivers whatever its
+  downstream provides.  (Figure 2 lists only Confidentiality for it,
+  which under strict superset matching would break every chain of
+  Figure 6 that contains an Encryptor.)
+- ``MailClient``'s installation condition adds ``TrustLevel ∈ (3,5)``
+  next to the ACL (``User = Alice``): the full-featured client holds
+  account credentials, so it may only run at well-trusted sites — this
+  is what makes Seattle (trust 2) fall back to ``ViewMailClient``
+  exactly as in Figure 6.
+- Behaviors are filled in for all components (the paper gives only
+  ``Capacity: 1000`` and ``RRF: 0.2``): message sizes and CPU costs are
+  calibrated so the Figure 7 groups reproduce.
+
+The text below round-trips through both the readable-form parser and the
+XML serializer.
+"""
+
+from __future__ import annotations
+
+from ...spec import ServiceSpec, parse_service
+
+__all__ = ["MAIL_SPEC_TEXT", "build_mail_spec", "DEFAULT_USERS"]
+
+#: Users provisioned with accounts, for the MailClient ACL condition.
+DEFAULT_USERS = ("Alice", "Bob", "Carol", "Dave", "Eve")
+
+MAIL_SPEC_TEXT = """
+<Service>
+Name: mail
+
+<Property>
+Name: Confidentiality
+Type: Boolean
+Values: T, F
+</Property>
+
+<Property>
+Name: TrustLevel
+Type: Interval
+ValueRange: (1,5)
+Match: AtLeast
+</Property>
+
+<Property>
+Name: User
+Type: String
+</Property>
+
+<Interface>
+Name: ClientInterface
+Properties: Confidentiality, TrustLevel
+</Interface>
+
+<Interface>
+Name: ServerInterface
+Properties: Confidentiality, TrustLevel
+</Interface>
+
+<Interface>
+Name: DecryptorInterface
+Properties: Confidentiality
+</Interface>
+
+<Component>
+Name: MailClient
+<Linkages>
+<Implements>
+Name: ClientInterface
+Properties: Confidentiality = F, TrustLevel = 4
+</Implements>
+<Requires>
+Name: ServerInterface
+Properties: Confidentiality = T, TrustLevel = 3
+</Requires>
+</Linkages>
+<Conditions>
+Properties: User = {Alice,Bob,Carol,Dave,Eve}, TrustLevel in (3,5)
+</Conditions>
+<Behaviors>
+RequestRate: 10
+CpuPerRequest: 0.5
+BytesPerRequest: 4096
+BytesPerResponse: 512
+CodeSize: 150000
+</Behaviors>
+</Component>
+
+<Component>
+Name: MailServer
+<Linkages>
+<Implements>
+Name: ServerInterface
+Properties: Confidentiality = T, TrustLevel = 5
+</Implements>
+</Linkages>
+<Conditions>
+Properties: TrustLevel = 5
+</Conditions>
+<Behaviors>
+Capacity: 1000
+CpuPerRequest: 1.0
+BytesPerRequest: 4096
+BytesPerResponse: 512
+CodeSize: 400000
+</Behaviors>
+</Component>
+
+<Component>
+Name: Encryptor
+<Linkages>
+<Implements>
+Name: ServerInterface
+Properties: Confidentiality = T, TrustLevel = ANY
+</Implements>
+<Requires>
+Name: DecryptorInterface
+</Requires>
+</Linkages>
+<Behaviors>
+CpuPerRequest: 2.0
+BytesPerRequest: 4224
+BytesPerResponse: 640
+CodeSize: 80000
+</Behaviors>
+</Component>
+
+<Component>
+Name: Decryptor
+<Linkages>
+<Implements>
+Name: DecryptorInterface
+</Implements>
+<Requires>
+Name: ServerInterface
+Properties: Confidentiality = T
+</Requires>
+</Linkages>
+<Behaviors>
+CpuPerRequest: 2.0
+BytesPerRequest: 4096
+BytesPerResponse: 512
+CodeSize: 80000
+</Behaviors>
+</Component>
+
+<View>
+Name: ViewMailClient
+Represents: MailClient
+Kind: object
+<Linkages>
+<Implements>
+Name: ClientInterface
+Properties: Confidentiality = F, TrustLevel = 1
+</Implements>
+<Requires>
+Name: ServerInterface
+Properties: Confidentiality = T, TrustLevel = 1
+</Requires>
+</Linkages>
+<Behaviors>
+RequestRate: 10
+CpuPerRequest: 0.4
+BytesPerRequest: 4096
+BytesPerResponse: 512
+CodeSize: 90000
+</Behaviors>
+</View>
+
+<View>
+Name: ViewMailServer
+Represents: MailServer
+Kind: data
+<Factors>
+Properties: TrustLevel = Node.TrustLevel
+</Factors>
+<Linkages>
+<Implements>
+Name: ServerInterface
+Properties: Confidentiality = T, TrustLevel = Node.TrustLevel
+</Implements>
+<Requires>
+Name: ServerInterface
+Properties: Confidentiality = T, TrustLevel = Node.TrustLevel
+</Requires>
+</Linkages>
+<Conditions>
+Properties: Node.TrustLevel in (1,3)
+</Conditions>
+<Behaviors>
+RRF: 0.2
+Capacity: 500
+CpuPerRequest: 0.8
+BytesPerRequest: 4096
+BytesPerResponse: 512
+CodeSize: 250000
+</Behaviors>
+</View>
+
+<PropertyModificationRule>
+Name: Confidentiality
+Rules:
+(In: T) x (Env: T) = (Out: T)
+(In: F) x (Env: ANY) = (Out: F)
+(In: ANY) x (Env: F) = (Out: F)
+</PropertyModificationRule>
+
+</Service>
+"""
+
+
+def build_mail_spec() -> ServiceSpec:
+    """Parse and validate the mail-service specification."""
+    return parse_service(MAIL_SPEC_TEXT)

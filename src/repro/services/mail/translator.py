@@ -1,0 +1,42 @@
+"""Credential translation for the mail service (paper §3.3).
+
+"In our mail service example, node and link credentials need to be
+translated into values of two service properties, Confidentiality and
+TrustLevel.  Informally, these correspond to whether or not a link/node
+can maintain confidentiality of component interactions, and the extent
+to which a node can be trusted."
+
+Node credential ``trust_level`` (an application-independent statement
+about the administrative domain) becomes the service's ``TrustLevel``;
+the security of every hop of a path becomes ``Confidentiality``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ...network import FunctionTranslator, NodeInfo, PathInfo
+
+__all__ = ["mail_translator", "TRUST_CREDENTIAL"]
+
+#: the application-independent node credential the service cares about
+TRUST_CREDENTIAL = "trust_level"
+
+
+def _node_props(node: NodeInfo) -> Dict[str, Any]:
+    props: Dict[str, Any] = {"Confidentiality": True}  # a node trusts itself
+    trust = node.credentials.get(TRUST_CREDENTIAL)
+    if trust is not None:
+        props["TrustLevel"] = int(trust)
+    return props
+
+
+def _path_props(path: PathInfo) -> Dict[str, Any]:
+    # A local (same-node) path is always confidential; otherwise every
+    # hop must be secure.
+    return {"Confidentiality": bool(path.secure)}
+
+
+def mail_translator() -> FunctionTranslator:
+    """The service-specific translation functions for the mail service."""
+    return FunctionTranslator(node_fn=_node_props, path_fn=_path_props)

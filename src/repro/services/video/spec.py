@@ -1,0 +1,170 @@
+"""A QoS-sensitive video streaming service.
+
+The paper argues its property machinery "is generally applicable to
+properties other than just security, e.g. QoS properties such as
+delivered video frame rate" (§3.3).  This service exercises exactly
+that:
+
+- ``FrameRate`` / ``FrameRateC`` are Number properties with AtLeast
+  matching and *computed* modification rules: the environment throttles
+  a stream's deliverable frame rate to what the path bandwidth sustains
+  (raw and compressed streams consume very different bandwidth per
+  frame, hence two interface flavours).
+- ``VideoSource`` serves raw frames; ``Packager`` converts a raw stream
+  into a compressed one (cheap CPU, 10x smaller frames); ``VideoClient``
+  consumes a compressed stream.
+- A data view ``ViewVideoSource`` caches popular content near clients
+  (RRF 0.3).
+
+On a fast network the planner may place the Packager anywhere; across a
+slow link only the source side is valid — placing it viewer-side would
+ship raw frames through the bottleneck and the modification rule throttles
+the delivered ``FrameRate`` below the Packager's requirement.  This is
+the QoS analogue of the mail service's Encryptor/Decryptor placement.
+
+The spec is built programmatically (computed rule outputs are not
+expressible in the textual form), demonstrating the Python construction
+API alongside the mail service's parsed form.
+"""
+
+from __future__ import annotations
+
+from ...spec import (
+    ANY,
+    Behaviors,
+    ComponentDef,
+    Condition,
+    EnvRef,
+    InterfaceBinding,
+    InterfaceDef,
+    ModificationRule,
+    NumberDomain,
+    PropertyDef,
+    PropertyModificationRule,
+    ServiceSpec,
+    StringDomain,
+    ValueRange,
+    ViewDef,
+    IntervalDomain,
+)
+
+__all__ = [
+    "build_video_spec",
+    "RAW_MBPS_PER_FPS",
+    "COMPRESSED_MBPS_PER_FPS",
+    "SOURCE_FPS",
+    "CLIENT_MIN_FPS",
+]
+
+#: bandwidth demand of one raw frame/second of stream (Mb/s per fps)
+RAW_MBPS_PER_FPS = 0.4
+#: same for the packaged/compressed stream
+COMPRESSED_MBPS_PER_FPS = 0.04
+#: what the source produces
+SOURCE_FPS = 60.0
+#: what clients insist on
+CLIENT_MIN_FPS = 24.0
+
+
+def _throttle(in_value, env_value):
+    """Deliverable rate = min(offered, what the environment sustains)."""
+    if in_value is ANY:
+        return env_value
+    if env_value is None:
+        return None  # capacity not vouched for on this path
+    return min(in_value, env_value)
+
+
+def build_video_spec() -> ServiceSpec:
+    spec = ServiceSpec(
+        "video",
+        description="QoS-sensitive streaming service (frame-rate properties)",
+    )
+    spec.add_property(
+        PropertyDef("FrameRate", NumberDomain(), match_mode="at_least",
+                    description="raw-stream frames/second")
+    )
+    spec.add_property(
+        PropertyDef("FrameRateC", NumberDomain(), match_mode="at_least",
+                    description="compressed-stream frames/second")
+    )
+    spec.add_property(PropertyDef("Popularity", IntervalDomain(1, 5), match_mode="at_least"))
+
+    spec.add_interface(InterfaceDef("ViewerInterface", ("FrameRateC",)))
+    spec.add_interface(InterfaceDef("CompressedStreamInterface", ("FrameRateC",)))
+    spec.add_interface(InterfaceDef("RawStreamInterface", ("FrameRate",)))
+
+    spec.add_component(
+        ComponentDef(
+            "VideoClient",
+            implements=(InterfaceBinding("ViewerInterface", {"FrameRateC": CLIENT_MIN_FPS}),),
+            requires=(
+                InterfaceBinding("CompressedStreamInterface", {"FrameRateC": CLIENT_MIN_FPS}),
+            ),
+            behaviors=Behaviors(
+                request_rate=30.0,
+                cpu_per_request=0.2,
+                bytes_per_request=128,
+                bytes_per_response=5_000,
+                code_size_bytes=120_000,
+            ),
+        )
+    )
+    spec.add_component(
+        ComponentDef(
+            "Packager",
+            implements=(InterfaceBinding("CompressedStreamInterface", {"FrameRateC": ANY}),),
+            requires=(InterfaceBinding("RawStreamInterface", {"FrameRate": CLIENT_MIN_FPS}),),
+            behaviors=Behaviors(
+                cpu_per_request=1.5,
+                bytes_per_request=128,
+                bytes_per_response=50_000,  # pulls raw frames
+                code_size_bytes=100_000,
+            ),
+        )
+    )
+    spec.add_component(
+        ComponentDef(
+            "VideoSource",
+            implements=(InterfaceBinding("RawStreamInterface", {"FrameRate": SOURCE_FPS}),),
+            conditions=(Condition("SourceSite", True),),
+            behaviors=Behaviors(
+                capacity=200.0,
+                cpu_per_request=0.5,
+                bytes_per_request=128,
+                bytes_per_response=50_000,
+                code_size_bytes=500_000,
+            ),
+        )
+    )
+    spec.add_view(
+        ViewDef(
+            "ViewVideoSource",
+            represents="VideoSource",
+            kind="data",
+            factors={"Popularity": EnvRef("Node", "Popularity")},
+            implements=(InterfaceBinding("RawStreamInterface", {"FrameRate": SOURCE_FPS}),),
+            requires=(InterfaceBinding("RawStreamInterface", {"FrameRate": CLIENT_MIN_FPS}),),
+            conditions=(Condition("Popularity", ValueRange(1, 5)),),
+            behaviors=Behaviors(
+                capacity=100.0,
+                cpu_per_request=0.4,
+                bytes_per_request=128,
+                bytes_per_response=50_000,
+                rrf=0.3,
+                code_size_bytes=300_000,
+            ),
+        )
+    )
+
+    spec.add_rule(
+        PropertyModificationRule(
+            "FrameRate", rules=(ModificationRule(ANY, ANY, _throttle),)
+        )
+    )
+    spec.add_rule(
+        PropertyModificationRule(
+            "FrameRateC", rules=(ModificationRule(ANY, ANY, _throttle),)
+        )
+    )
+    return spec.validate()

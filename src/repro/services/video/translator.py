@@ -1,0 +1,48 @@
+"""Credential translation for the video service.
+
+Node credentials: ``source_site`` (bool — where masters live) becomes
+``SourceSite``; ``popularity`` (how hot the local audience is, drives the
+cache view's factor) becomes ``Popularity``.
+
+Path environments translate *bandwidth* into the two deliverable
+frame-rate capacities — the QoS counterpart of the mail service's
+secure-link -> Confidentiality translation:
+
+    FrameRate  capacity = bottleneck_mbps / RAW_MBPS_PER_FPS
+    FrameRateC capacity = bottleneck_mbps / COMPRESSED_MBPS_PER_FPS
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ...network import FunctionTranslator, NodeInfo, PathInfo
+from .spec import COMPRESSED_MBPS_PER_FPS, RAW_MBPS_PER_FPS
+
+__all__ = ["video_translator"]
+
+
+def _node_props(node: NodeInfo) -> Dict[str, Any]:
+    props: Dict[str, Any] = {
+        "SourceSite": bool(node.credentials.get("source_site", False)),
+    }
+    if "popularity" in node.credentials:
+        props["Popularity"] = int(node.credentials["popularity"])
+    # A node sustains its own streams at memory speed.
+    props["FrameRate"] = float("inf")
+    props["FrameRateC"] = float("inf")
+    return props
+
+
+def _path_props(path: PathInfo) -> Dict[str, Any]:
+    if path.is_local:
+        return {"FrameRate": float("inf"), "FrameRateC": float("inf")}
+    bw = path.bandwidth_mbps
+    return {
+        "FrameRate": bw / RAW_MBPS_PER_FPS,
+        "FrameRateC": bw / COMPRESSED_MBPS_PER_FPS,
+    }
+
+
+def video_translator() -> FunctionTranslator:
+    return FunctionTranslator(node_fn=_node_props, path_fn=_path_props)

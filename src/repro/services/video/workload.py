@@ -1,0 +1,102 @@
+"""Streaming workload for the video service.
+
+A streaming session pulls frames back-to-back (closed loop, like the
+mail workload's "maximum rate permitted by a deployment") and reports
+the *achieved* frame rate and per-frame latency jitter — the service's
+QoS metrics, measured rather than declared.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Generator, List
+
+from ...sim.resources import Monitor
+from ...smock import ServiceProxy
+
+__all__ = ["StreamConfig", "StreamResult", "stream_session"]
+
+
+@dataclass
+class StreamConfig:
+    """One viewing session."""
+
+    content: str = "feature"
+    n_frames: int = 100
+    #: fraction of frames re-requested (seek-back; exercises caches)
+    replay_fraction: float = 0.1
+    #: outstanding frame requests (player prefetch buffer).  A serial
+    #: puller is throughput-bound by the WAN round trip; real players
+    #: pipeline, which is what lets the delivered rate reach the
+    #: bandwidth-determined frame rate the planner reasons about.
+    pipeline_depth: int = 4
+    seed: int = 0
+
+
+@dataclass
+class StreamResult:
+    """Measured QoS of one session."""
+
+    content: str
+    frame_latency: Monitor = field(default_factory=lambda: Monitor("frame"))
+    errors: List[str] = field(default_factory=list)
+    started_ms: float = 0.0
+    finished_ms: float = 0.0
+
+    @property
+    def achieved_fps(self) -> float:
+        """Frames delivered per second of simulated wall time."""
+        elapsed_s = (self.finished_ms - self.started_ms) / 1e3
+        if elapsed_s <= 0:
+            return float("inf")
+        return self.frame_latency.count / elapsed_s
+
+    @property
+    def jitter_ms(self) -> float:
+        """p99 - median frame latency."""
+        return self.frame_latency.percentile(99) - self.frame_latency.percentile(50)
+
+
+def stream_session(
+    proxy: ServiceProxy, config: StreamConfig
+) -> Generator[Any, Any, StreamResult]:
+    """Process generator: pull ``n_frames`` frames at maximum rate,
+    keeping up to ``pipeline_depth`` requests in flight."""
+    rng = random.Random((config.seed, config.content).__repr__())
+    sim = proxy.runtime.sim
+    result = StreamResult(content=config.content, started_ms=sim.now)
+
+    # Pre-draw the frame schedule (deterministic given the seed).
+    schedule: List[int] = []
+    seq = 0
+    for _ in range(config.n_frames):
+        if seq > 0 and rng.random() < config.replay_fraction:
+            schedule.append(rng.randrange(seq))
+        else:
+            schedule.append(seq)
+            seq += 1
+
+    cursor = [0]
+
+    def puller() -> Generator[Any, Any, None]:
+        while cursor[0] < len(schedule):
+            i = cursor[0]
+            cursor[0] += 1
+            frame_no = schedule[i]
+            t0 = sim.now
+            resp = yield from proxy.request(
+                "play", {"content": config.content, "seq": frame_no}, size_bytes=128
+            )
+            result.frame_latency.observe(sim.now - t0)
+            if not resp.ok:
+                result.errors.append(f"frame[{i}]: {resp.error}")
+
+    depth = max(1, config.pipeline_depth)
+    workers = [
+        sim.process(puller(), name=f"stream:{config.content}:{k}")
+        for k in range(depth)
+    ]
+    yield sim.all_of(workers)
+    result.finished_ms = sim.now
+    return result

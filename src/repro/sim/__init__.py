@@ -1,0 +1,36 @@
+"""Discrete-event simulation substrate.
+
+Replaces the paper's physical testbed (Pentium III nodes, Click software
+router) with a deterministic, seeded simulator.  Public surface:
+
+- :class:`Simulator` — event kernel, virtual clock (milliseconds)
+- :class:`Event`, :class:`Timeout`, :class:`Process`, :class:`Interrupt`
+- :class:`Resource`, :class:`Store`, :class:`Monitor`
+- :class:`SimNode` — host with CPU capacity + credentials
+- :class:`SimLink` — latency/bandwidth link with security credential
+"""
+
+from .engine import Simulator
+from .events import AllOf, AnyOf, Event, SimulationError, Timeout
+from .node import SimNode
+from .process import Interrupt, Process
+from .resources import Monitor, Resource, Store
+from .transport import LOCALHOST_LINK_ID, SimLink, transfer_time_ms
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "Process",
+    "Interrupt",
+    "Resource",
+    "Store",
+    "Monitor",
+    "SimNode",
+    "SimLink",
+    "transfer_time_ms",
+    "LOCALHOST_LINK_ID",
+]

@@ -1,0 +1,155 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the event list (a binary heap keyed on
+``(time, seq)`` so that equal-time events run in schedule order, keeping
+runs deterministic) and the simulated clock.  All framework time is in
+**milliseconds** — the unit of the paper's Figure 7.
+
+This replaces the paper's physical testbed (Pentium III nodes + a Click
+software router doing traffic shaping): simulated links impose latency
+and bandwidth serialization, simulated nodes impose CPU service times,
+and the clock is virtual, so experiments are fast and exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from .events import AllOf, AnyOf, Event, SimulationError, Timeout
+from .process import Process
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event-list simulator with generator-process support.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.process(my_generator(sim))
+        sim.run(until=10_000.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._running = False
+        self.trace: Optional[List[Tuple[float, str]]] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    # -- event construction -------------------------------------------------
+    def event(self) -> Event:
+        """A fresh pending event, triggered manually by the caller."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event triggering ``delay`` ms from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start ``generator`` as a process at the current time."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event: triggers when any child triggers."""
+        return AnyOf(self, list(events))
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event: triggers when every child has triggered."""
+        return AllOf(self, list(events))
+
+    def call_at(self, when: float, fn: Callable[[], None]) -> Event:
+        """Run plain callable ``fn`` at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self._now}")
+        ev = Event(self)
+        ev.add_callback(lambda _e: fn())
+        ev._triggered = True
+        self._schedule(when, ev)
+        return ev
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run plain callable ``fn`` after ``delay`` ms."""
+        return self.call_at(self._now + delay, fn)
+
+    # -- kernel -------------------------------------------------------------
+    def _schedule(self, when: float, event: Event) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, event))
+
+    def _queue_event(self, event: Event) -> None:
+        """Queue an already-triggered event for callback dispatch *now*."""
+        self._schedule(self._now, event)
+
+    def _dispatch(self, event: Event) -> None:
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+
+    def step(self) -> float:
+        """Process one event; returns its timestamp."""
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event list corrupted: time went backwards")
+        self._now = when
+        if self.trace is not None:
+            self.trace.append((when, repr(event)))
+        self._dispatch(event)
+        return when
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event list drains or the clock passes ``until``.
+
+        Returns the final simulated time.  ``until`` is exclusive: an
+        event stamped exactly at ``until`` does not run, and the clock is
+        left at ``until``.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] >= until:
+                    self._now = until
+                    break
+                self.step()
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_complete(self, proc: Process, limit: float = float("inf")) -> Any:
+        """Run until ``proc`` finishes; return its value (raise if it failed)."""
+        while not proc.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: event list empty but {proc!r} not finished"
+                )
+            if self._heap[0][0] > limit:
+                raise SimulationError(f"time limit {limit} exceeded waiting on {proc!r}")
+            self.step()
+        if proc.failed:
+            raise proc.value
+        return proc.value
+
+    def peek(self) -> float:
+        """Timestamp of the next event, or +inf if the list is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now} pending={len(self._heap)}>"

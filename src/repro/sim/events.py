@@ -1,0 +1,151 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic event-list design: an :class:`Event` is a
+one-shot occurrence with an optional value; callbacks registered on an
+event fire when it triggers.  Generator-based processes (see
+:mod:`repro.sim.process`) yield events to suspend until they trigger.
+
+Events are deliberately tiny objects — the simulator's hot loop touches
+millions of them in the larger benchmarks, so we use ``__slots__`` and
+avoid any per-event allocation beyond the callback list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Event", "Timeout", "AnyOf", "AllOf", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double trigger, running a dead sim...)."""
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event starts *pending*; :meth:`succeed` (or :meth:`fail`) moves it
+    to *triggered* exactly once, invoking each registered callback with
+    the event itself.  Values are delivered through :attr:`value`.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_triggered", "_failed")
+
+    def __init__(self, sim: "Any") -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._triggered = False
+        self._failed = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has occurred (successfully or not)."""
+        return self._triggered
+
+    @property
+    def failed(self) -> bool:
+        """True if the event was triggered via :meth:`fail`."""
+        return self._failed
+
+    @property
+    def value(self) -> Any:
+        """The payload delivered at trigger time (exception if failed)."""
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._queue_event(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as a failure carrying exception ``exc``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._failed = True
+        self._value = exc
+        self.sim._queue_event(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event triggers.
+
+        If the event already ran its callbacks, ``fn`` fires on the next
+        kernel step rather than being silently dropped.
+        """
+        if self.callbacks is None:
+            # Already dispatched: schedule an immediate wake-up.
+            self.sim.call_at(self.sim.now, lambda: fn(self))
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={getattr(self.sim, 'now', '?')}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: Any, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True  # scheduled immediately, fires later
+        self._value = value
+        sim._schedule(sim.now + delay, self)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    __slots__ = ("events", "_n_needed", "_n_done")
+
+    def __init__(self, sim: Any, events: List[Event], n_needed: int) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_needed = n_needed
+        self._n_done = 0
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev.failed:
+            self.fail(ev.value)
+            return
+        self._n_done += 1
+        if self._n_done >= self._n_needed:
+            self.succeed([e.value for e in self.events if e.triggered])
+
+
+class AnyOf(_Condition):
+    """Triggers when any one of ``events`` triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: Any, events: List[Event]) -> None:
+        super().__init__(sim, events, n_needed=1)
+
+
+class AllOf(_Condition):
+    """Triggers when all of ``events`` have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: Any, events: List[Event]) -> None:
+        super().__init__(sim, events, n_needed=len(events))

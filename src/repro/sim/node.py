@@ -1,0 +1,67 @@
+"""Simulated compute nodes.
+
+A :class:`SimNode` models the Pentium III hosts of the paper's testbed:
+a CPU with a capacity in *work units per second* and a FIFO run queue.
+Components installed on a node charge their per-request CPU cost here,
+so an overloaded node shows up as queueing delay — which is what the
+planner's condition 3 (load vs. capacity) is protecting against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from .engine import Simulator
+from .events import Event
+from .resources import Monitor, Resource
+
+__all__ = ["SimNode"]
+
+
+class SimNode:
+    """A host in the simulated network.
+
+    ``cpu_capacity`` is expressed in work-units/second; executing a job of
+    ``cpu_work`` units takes ``cpu_work / cpu_capacity`` seconds of
+    exclusive CPU.  ``credentials`` carries application-independent facts
+    about the node (site, trust domain) that the credential-translation
+    layer maps into service properties.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cpu_capacity: float = 1000.0,
+        credentials: Optional[Dict[str, Any]] = None,
+        cores: int = 1,
+    ) -> None:
+        if cpu_capacity <= 0:
+            raise ValueError(f"cpu_capacity must be positive, got {cpu_capacity}")
+        self.sim = sim
+        self.name = name
+        self.cpu_capacity = cpu_capacity
+        self.credentials = dict(credentials or {})
+        self.cpu = Resource(sim, capacity=cores)
+        self.stats = Monitor(f"node:{name}")
+        #: components installed here by the runtime, keyed by instance id.
+        self.installed: Dict[str, Any] = {}
+
+    def service_time_ms(self, cpu_work: float) -> float:
+        """Exclusive-CPU time, in ms, for a job of ``cpu_work`` units."""
+        if cpu_work < 0:
+            raise ValueError(f"negative cpu work: {cpu_work}")
+        return cpu_work / self.cpu_capacity * 1e3
+
+    def execute(self, cpu_work: float) -> Generator[Event, Any, None]:
+        """Process generator: queue for the CPU, hold it, release it."""
+        start = self.sim.now
+        yield self.cpu.request()
+        try:
+            yield self.sim.timeout(self.service_time_ms(cpu_work))
+        finally:
+            self.cpu.release()
+        self.stats.observe(self.sim.now - start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimNode {self.name} cap={self.cpu_capacity} installed={len(self.installed)}>"

@@ -1,0 +1,112 @@
+"""Generator-based simulation processes.
+
+A *process* is a Python generator that yields :class:`~repro.sim.events.Event`
+objects; the kernel resumes the generator when the yielded event triggers,
+sending the event's value back into the generator.  This gives simulated
+components natural sequential code::
+
+    def client(sim, link):
+        yield sim.timeout(5.0)            # think time
+        reply = yield link.transfer(msg)  # blocks for latency + serialization
+        ...
+
+The process itself is an event that triggers when the generator returns,
+so processes can wait on each other (fork/join).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .events import Event, SimulationError
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Wraps a generator as a schedulable simulation activity.
+
+    The process event triggers with the generator's return value when the
+    generator finishes, or fails with the escaping exception.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        sim: Any,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick off on the next kernel step at the current time.
+        boot = Event(sim)
+        boot.add_callback(self._resume)
+        boot.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A dead process is left untouched (interrupting it is a no-op, as
+        in SimPy).
+        """
+        if not self.is_alive:
+            return
+        self.sim.call_at(self.sim.now, lambda: self._throw(Interrupt(cause)))
+
+    # -- kernel plumbing --------------------------------------------------
+    def _resume(self, by: Event) -> None:
+        if self.triggered:
+            return
+        if by.failed:
+            self._throw(by.value)
+            return
+        self._step(lambda: self.generator.send(by.value))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return
+        self._step(lambda: self.generator.throw(exc))
+
+    def _step(self, advance) -> None:
+        self._waiting_on = None
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Uncaught interrupt kills the process quietly.
+            self.succeed(None)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,187 @@
+"""Shared-resource primitives: FIFO resources and message stores.
+
+``Resource`` models a server with ``capacity`` concurrent slots (a node's
+CPU, a link's transmit side); ``Store`` is an unbounded FIFO mailbox used
+for inter-component message queues.  Both integrate with the event kernel
+so processes simply ``yield`` on acquisition/retrieval.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .engine import Simulator
+from .events import Event
+
+__all__ = ["Resource", "Store", "Monitor"]
+
+
+class Resource:
+    """A FIFO resource with a fixed number of concurrent slots.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Aggregate utilization accounting.
+        self._busy_area = 0.0
+        self._last_change = sim.now
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting for a slot."""
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_area += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self) -> float:
+        """Time-averaged fraction of capacity in use since creation."""
+        self._account()
+        elapsed = self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_area / (elapsed * self.capacity)
+
+    def request(self) -> Event:
+        """Event that triggers when a slot is granted to the caller."""
+        ev = self.sim.event()
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return a slot; wakes the head-of-line waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release() without matching request()")
+        if self._waiters:
+            # Hand the slot straight to the next waiter (in_use unchanged).
+            self._waiters.popleft().succeed(self)
+        else:
+            self._account()
+            self._in_use -= 1
+
+    def acquire(self) -> Generator[Event, Any, None]:
+        """Generator helper: ``yield from resource.acquire()``."""
+        yield self.request()
+
+    def use(self, duration: float) -> Generator[Event, Any, None]:
+        """Acquire a slot, hold it for ``duration`` ms, release it."""
+        yield self.request()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+
+
+class Store:
+    """Unbounded FIFO mailbox of Python objects.
+
+    ``put`` never blocks; ``get`` returns an event that triggers with the
+    oldest item (immediately if one is available).
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event triggering with the next item (FIFO)."""
+        ev = self.sim.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking pop; None if empty."""
+        return self._items.popleft() if self._items else None
+
+
+class Monitor:
+    """Accumulates scalar observations (latencies, sizes) with summary stats.
+
+    Lightweight replacement for pulling in a stats package in the hot
+    path: constant-time ``observe`` and O(n log n) percentile queries.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) by nearest-rank."""
+        if not self.samples:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.samples)
+        idx = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Monitor {self.name!r} n={self.count} mean={self.mean:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f}>"
+        )

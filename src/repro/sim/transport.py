@@ -1,0 +1,123 @@
+"""Simulated network links: latency + bandwidth serialization.
+
+This module stands in for the paper's Click-modular-router traffic
+shaping.  A :class:`SimLink` delivers a payload of ``size_bytes`` after
+
+    latency_ms + size_bytes * 8 / bandwidth_mbps / 1000
+
+where the serialization term holds the link's transmit resource, so
+concurrent transfers queue behind each other exactly like packets behind
+a shaper.  Links are full-duplex: each direction has its own transmit
+resource.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Tuple
+
+from .engine import Simulator
+from .events import Event
+from .resources import Monitor, Resource
+
+__all__ = ["SimLink", "transfer_time_ms", "LOCALHOST_LINK_ID"]
+
+#: Identifier used for intra-node (loopback) communication.
+LOCALHOST_LINK_ID = "__loopback__"
+
+
+def transfer_time_ms(size_bytes: int, bandwidth_mbps: float, latency_ms: float) -> float:
+    """Analytic one-way transfer time for a message, in milliseconds.
+
+    ``bandwidth_mbps`` is in megabits/second (the unit of Figure 5);
+    a non-positive bandwidth means "infinitely fast" (pure latency).
+    """
+    if size_bytes < 0:
+        raise ValueError(f"negative message size: {size_bytes}")
+    serialization = 0.0
+    if bandwidth_mbps > 0:
+        serialization = (size_bytes * 8) / (bandwidth_mbps * 1e6) * 1e3
+    return latency_ms + serialization
+
+
+class SimLink:
+    """A bidirectional point-to-point link between two simulated nodes.
+
+    Parameters mirror the paper's Figure 5 annotations: one-way latency
+    in ms and bandwidth in Mb/s, plus the ``secure`` credential used by
+    property-modification rules.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: str,
+        b: str,
+        latency_ms: float,
+        bandwidth_mbps: float,
+        secure: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
+        if latency_ms < 0:
+            raise ValueError(f"negative latency: {latency_ms}")
+        self.sim = sim
+        self.a = a
+        self.b = b
+        self.latency_ms = latency_ms
+        self.bandwidth_mbps = bandwidth_mbps
+        self.secure = secure
+        self.name = name or f"{a}<->{b}"
+        # One transmit queue per direction (full duplex).
+        self._tx = {a: Resource(sim, 1), b: Resource(sim, 1)}
+        self.stats = Monitor(f"link:{self.name}")
+        self.bytes_carried = 0
+
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.a, self.b)
+
+    def other_end(self, node: str) -> str:
+        """The opposite endpoint; raises if ``node`` is not an endpoint."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise ValueError(f"{node!r} is not an endpoint of {self.name}")
+
+    def serialization_ms(self, size_bytes: int) -> float:
+        """Time to clock ``size_bytes`` onto the wire (no latency)."""
+        if self.bandwidth_mbps <= 0:
+            return 0.0
+        return (size_bytes * 8) / (self.bandwidth_mbps * 1e6) * 1e3
+
+    def transfer(
+        self, src: str, size_bytes: int, payload: Any = None
+    ) -> Generator[Event, Any, Any]:
+        """Process generator: move ``payload`` from ``src`` to the far end.
+
+        Queues behind earlier transfers in the same direction
+        (bandwidth contention), then incurs propagation latency.
+        Returns the payload so callers can ``yield from`` it.
+        """
+        tx = self._tx[src if src in self._tx else self.a]
+        start = self.sim.now
+        yield tx.request()
+        try:
+            yield self.sim.timeout(self.serialization_ms(size_bytes))
+        finally:
+            tx.release()
+        yield self.sim.timeout(self.latency_ms)
+        self.bytes_carried += size_bytes
+        self.stats.observe(self.sim.now - start)
+        return payload
+
+    def transfer_process(self, src: str, size_bytes: int, payload: Any = None):
+        """Convenience: run :meth:`transfer` as a standalone process."""
+        return self.sim.process(
+            self.transfer(src, size_bytes, payload), name=f"xfer:{self.name}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sec = "secure" if self.secure else "insecure"
+        return (
+            f"<SimLink {self.name} {self.latency_ms}ms/"
+            f"{self.bandwidth_mbps}Mbps {sec}>"
+        )

@@ -1,0 +1,36 @@
+"""The Smock run-time system (paper §3.2): generic proxy/server, node
+wrappers, deployment execution, and the runtime facade."""
+
+from .bundle import ServiceBundle
+from .component import ForwardingComponent, RuntimeComponent, ServerStub
+from .deployment import Deployer, DeploymentError, DeploymentRecord
+from .lookup import LookupService, ServiceRegistration
+from .messages import RequestError, ServiceRequest, ServiceResponse
+from .proxy import BindRecord, GenericProxy, ServiceProxy
+from .runtime import SmockRuntime
+from .server import AccessRecord, GenericServer
+from .transport import RuntimeTransport
+from .wrapper import NodeWrapper
+
+__all__ = [
+    "SmockRuntime",
+    "ServiceBundle",
+    "RuntimeComponent",
+    "ForwardingComponent",
+    "ServerStub",
+    "ServiceRequest",
+    "ServiceResponse",
+    "RequestError",
+    "LookupService",
+    "ServiceRegistration",
+    "GenericProxy",
+    "ServiceProxy",
+    "BindRecord",
+    "GenericServer",
+    "AccessRecord",
+    "Deployer",
+    "DeploymentRecord",
+    "DeploymentError",
+    "NodeWrapper",
+    "RuntimeTransport",
+]

@@ -1,0 +1,59 @@
+"""Per-service state within a shared Smock runtime.
+
+One runtime can host several partitionable services; the paper notes
+the framework "ensures that the generic server does not become a
+bottleneck by spreading out requests for different services among
+multiple instances".  Each registered service gets its own
+:class:`ServiceBundle`: spec, planner (with its own deployment state and
+objective), generic-server instance, coherence directory, component
+classes, and instance registry — while the simulator, network,
+transport, node wrappers and lookup namespace are shared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Type
+
+from ..coherence import CoherenceDirectory
+from ..planner import Planner
+from ..spec import ServiceSpec, ViewDef
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .component import RuntimeComponent
+    from .server import GenericServer
+
+__all__ = ["ServiceBundle"]
+
+
+@dataclass
+class ServiceBundle:
+    """Everything belonging to one hosted service."""
+
+    name: str
+    spec: ServiceSpec
+    planner: Planner
+    server: "GenericServer"
+    coherence: CoherenceDirectory
+    default_interface: str = ""
+    code_base_node: str = ""
+    component_classes: Dict[str, Type["RuntimeComponent"]] = field(default_factory=dict)
+    instances: Dict[Tuple, "RuntimeComponent"] = field(default_factory=dict)
+    view_policy: Callable[[ViewDef, Any], Any] = None  # type: ignore[assignment]
+
+    def component_class(self, unit_name: str) -> Type["RuntimeComponent"]:
+        from .deployment import DeploymentError
+
+        cls = self.component_classes.get(unit_name)
+        if cls is None:
+            raise DeploymentError(
+                f"service {self.name!r}: no runtime class registered for "
+                f"unit {unit_name!r}"
+            )
+        return cls
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ServiceBundle {self.name!r} units={len(self.component_classes)} "
+            f"instances={len(self.instances)}>"
+        )

@@ -1,0 +1,206 @@
+"""Runtime component model.
+
+A :class:`RuntimeComponent` is a live instance of a spec unit installed
+on a simulated node.  Components communicate only through
+:class:`ServerStub` objects bound by the deployer according to the
+planned linkages — calling ``self.call('ServerInterface', req)`` charges
+the simulated network and the remote node's CPU exactly as the plan's
+paths dictate.
+
+Request handling is synchronous-RPC-over-generators: a component's
+``handle`` is a generator; serving a request charges the component's
+declared per-request CPU on its node before dispatching.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
+
+from ..sim import SimNode, Simulator
+from ..sim.resources import Monitor
+from ..spec import ComponentDef
+from .messages import RequestError, ServiceRequest, ServiceResponse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import SmockRuntime
+
+__all__ = ["RuntimeComponent", "ServerStub"]
+
+
+class ServerStub:
+    """Client-side handle for one planned linkage."""
+
+    def __init__(
+        self,
+        runtime: "SmockRuntime",
+        interface: str,
+        client_node: str,
+        server: "RuntimeComponent",
+    ) -> None:
+        self.runtime = runtime
+        self.interface = interface
+        self.client_node = client_node
+        self.server = server
+        self.calls = 0
+
+    def request(self, req: ServiceRequest, response_bytes_hint: int = 0) -> Generator[Any, Any, ServiceResponse]:
+        """Process generator: full round trip to the bound server.
+
+        A network partition (no route to the server) surfaces as a
+        failure response, not an exception — callers decide whether to
+        retry, fail over, or report upstream.
+        """
+        from ..network import NetworkError
+
+        self.calls += 1
+        transport = self.runtime.transport
+        try:
+            yield from transport.deliver(
+                self.client_node, self.server.node_name, req.size_bytes
+            )
+            resp = yield from self.server.serve(req)
+            yield from transport.deliver(
+                self.server.node_name, self.client_node, resp.size_bytes
+            )
+        except NetworkError as exc:
+            return ServiceResponse.failure(
+                f"unreachable: {self.client_node} -> {self.server.node_name}: {exc}"
+            )
+        return resp
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ServerStub {self.interface} -> {self.server.label}>"
+
+
+class RuntimeComponent:
+    """Base class for live component instances.
+
+    Subclasses override :meth:`dispatch` (a generator) to implement
+    operations; the default implementation routes ``op`` to an
+    ``op_<name>`` generator method.
+    """
+
+    def __init__(
+        self,
+        runtime: "SmockRuntime",
+        unit: ComponentDef,
+        node: SimNode,
+        factor_values: Dict[str, Any],
+        instance_id: str,
+    ) -> None:
+        self.runtime = runtime
+        self.unit = unit
+        self.node = node
+        self.factor_values = dict(factor_values)
+        self.instance_id = instance_id
+        #: the hosted service this instance belongs to; set by the
+        #: deployer/preinstall right after construction
+        self.bundle: Any = None
+        #: interface name -> bound stub(s); the first stub is the default
+        self.servers: Dict[str, List[ServerStub]] = {}
+        self.latency = Monitor(f"component:{instance_id}")
+        self.requests_served = 0
+        self.requests_forwarded = 0
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def sim(self) -> Simulator:
+        return self.runtime.sim
+
+    @property
+    def node_name(self) -> str:
+        return self.node.name
+
+    @property
+    def coherence(self):
+        """The coherence directory of this instance's service."""
+        bundle = self.bundle if self.bundle is not None else self.runtime.primary
+        return bundle.coherence
+
+    @property
+    def label(self) -> str:
+        factors = ",".join(f"{k}={v}" for k, v in sorted(self.factor_values.items()))
+        suffix = f"[{factors}]" if factors else ""
+        return f"{self.unit.name}{suffix}@{self.node_name}"
+
+    # -- lifecycle hooks ------------------------------------------------------
+    def on_install(self) -> None:
+        """Called by the node wrapper once the instance is initialized."""
+
+    def on_linked(self) -> None:
+        """Called after all required interfaces have been bound."""
+
+    def on_invalidate(self, updates: List[Any]) -> None:
+        """Coherence hook: conflicting remote updates occurred."""
+
+    # -- wiring ---------------------------------------------------------------
+    def bind_server(self, interface: str, stub: ServerStub) -> None:
+        self.servers.setdefault(interface, []).append(stub)
+
+    def stub_for(self, interface: str) -> ServerStub:
+        stubs = self.servers.get(interface)
+        if not stubs:
+            raise RequestError(f"{self.label} has no bound server for {interface!r}")
+        return stubs[0]
+
+    def call(
+        self, interface: str, req: ServiceRequest
+    ) -> Generator[Any, Any, ServiceResponse]:
+        """Invoke the bound server of ``interface`` (round trip)."""
+        self.requests_forwarded += 1
+        resp = yield from self.stub_for(interface).request(req)
+        return resp
+
+    # -- serving ----------------------------------------------------------------
+    def serve(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        """Charge CPU, then dispatch the operation.
+
+        Component faults are contained: an exception escaping a handler
+        becomes a failure response to the caller instead of tearing down
+        the whole request chain (the wrapper's "special environment"
+        isolates components from each other).
+        """
+        start = self.sim.now
+        req.trace.append(self.label)
+        yield from self.node.execute(self.unit.behaviors.cpu_per_request)
+        try:
+            resp = yield from self.dispatch(req)
+        except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+            resp = ServiceResponse.failure(f"{self.label}: {type(exc).__name__}: {exc}")
+        self.requests_served += 1
+        self.latency.observe(self.sim.now - start)
+        return resp
+
+    def dispatch(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        """Route ``req.op`` to an ``op_<name>`` generator method."""
+        handler = getattr(self, f"op_{req.op}", None)
+        if handler is None:
+            return ServiceResponse.failure(f"{self.unit.name} has no op {req.op!r}")
+        resp = yield from handler(req)
+        return resp
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.label}>"
+
+
+class ForwardingComponent(RuntimeComponent):
+    """A component that forwards every request to its single required
+    interface, optionally transforming request/response (the base for
+    Encryptor/Decryptor-style relays)."""
+
+    forward_interface: Optional[str] = None
+
+    def transform_request(self, req: ServiceRequest) -> ServiceRequest:
+        return req
+
+    def transform_response(self, resp: ServiceResponse) -> ServiceResponse:
+        return resp
+
+    def dispatch(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        iface = self.forward_interface or self.unit.required_interfaces()[0]
+        out = self.transform_request(req)
+        resp = yield from self.call(iface, out)
+        return self.transform_response(resp)
+
+
+__all__.append("ForwardingComponent")

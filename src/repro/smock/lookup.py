@@ -1,0 +1,91 @@
+"""Jini-like attribute-based lookup service (paper §3.2).
+
+"Service registration simply informs the generic server about the
+availability of the service and installs a generic proxy into a
+Jini-like namespace.  Clients locate and download the proxy by using an
+attribute-based lookup service."
+
+Registrations carry free-form attribute dictionaries; lookups match by
+attribute subset.  A successful lookup *downloads* the proxy code to the
+client's node (simulated transfer from the lookup host).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .proxy import GenericProxy
+    from .runtime import SmockRuntime
+
+__all__ = ["LookupService", "ServiceRegistration", "LookupError", "DEFAULT_PROXY_CODE_BYTES"]
+
+DEFAULT_PROXY_CODE_BYTES = 60_000
+
+
+class LookupError(KeyError):
+    """No registration matches the requested attributes."""
+
+
+@dataclass
+class ServiceRegistration:
+    """One registered service."""
+
+    name: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    proxy_code_bytes: int = DEFAULT_PROXY_CODE_BYTES
+
+    def matches(self, query: Dict[str, Any]) -> bool:
+        return all(self.attributes.get(k) == v for k, v in query.items())
+
+
+class LookupService:
+    """Attribute lookup + proxy download."""
+
+    def __init__(self, runtime: "SmockRuntime", host_node: str) -> None:
+        self.runtime = runtime
+        self.host_node = host_node
+        self._registry: Dict[str, ServiceRegistration] = {}
+        self.lookups = 0
+
+    def register(
+        self,
+        name: str,
+        attributes: Optional[Dict[str, Any]] = None,
+        proxy_code_bytes: int = DEFAULT_PROXY_CODE_BYTES,
+    ) -> ServiceRegistration:
+        """Step 1 of Figure 1: the service registers its proxy."""
+        reg = ServiceRegistration(name, dict(attributes or {}), proxy_code_bytes)
+        self._registry[name] = reg
+        return reg
+
+    def find(self, query: Dict[str, Any]) -> List[ServiceRegistration]:
+        """All registrations whose attributes are a superset of ``query``."""
+        return [r for r in self._registry.values() if r.matches(query)]
+
+    def lookup(
+        self, client_node: str, name: Optional[str] = None, query: Optional[Dict[str, Any]] = None
+    ) -> Generator[Any, Any, "GenericProxy"]:
+        """Step 2 of Figure 1: locate the service and download its proxy.
+
+        Process generator; returns a :class:`GenericProxy` bound to the
+        client's node.
+        """
+        from .proxy import GenericProxy  # local import: avoid cycle
+
+        self.lookups += 1
+        if name is not None:
+            reg = self._registry.get(name)
+            if reg is None:
+                raise LookupError(f"no service registered as {name!r}")
+        else:
+            matches = self.find(query or {})
+            if not matches:
+                raise LookupError(f"no service matches {query!r}")
+            reg = matches[0]
+        # Download the proxy code from the lookup host.
+        yield from self.runtime.transport.deliver(
+            self.host_node, client_node, reg.proxy_code_bytes
+        )
+        return GenericProxy(self.runtime, reg, client_node)

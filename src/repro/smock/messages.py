@@ -1,0 +1,59 @@
+"""Request/response message model of the Smock runtime.
+
+All inter-component communication is request/response over planned
+linkages.  Sizes drive the simulated transfer times; the ``trace`` list
+records the placements a request visited (used by tests to verify that
+traffic follows exactly the planner's linkages).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ServiceRequest", "ServiceResponse", "RequestError"]
+
+_request_ids = itertools.count(1)
+
+
+class RequestError(RuntimeError):
+    """A component rejected or failed to serve a request."""
+
+
+@dataclass
+class ServiceRequest:
+    """One operation invocation travelling down a linkage chain."""
+
+    op: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size_bytes: int = 512
+    user: Optional[str] = None
+    #: placements visited, e.g. ["MailClient@sd-client1", ...]
+    trace: List[str] = field(default_factory=list)
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def child(self, op: str, payload: Dict[str, Any], size_bytes: int) -> "ServiceRequest":
+        """Derive the downstream request a component issues on behalf of
+        this one (same user identity, shared trace)."""
+        return ServiceRequest(
+            op=op,
+            payload=payload,
+            size_bytes=size_bytes,
+            user=self.user,
+            trace=self.trace,
+        )
+
+
+@dataclass
+class ServiceResponse:
+    """The reply travelling back up."""
+
+    payload: Dict[str, Any] = field(default_factory=dict)
+    size_bytes: int = 256
+    ok: bool = True
+    error: Optional[str] = None
+
+    @classmethod
+    def failure(cls, message: str, size_bytes: int = 128) -> "ServiceResponse":
+        return cls(payload={}, size_bytes=size_bytes, ok=False, error=message)

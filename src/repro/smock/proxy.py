@@ -1,0 +1,167 @@
+"""Generic and service-specific proxies (Figure 1).
+
+The client downloads a :class:`GenericProxy` from the lookup service.
+On first use the proxy forwards the access request (with credentials) to
+the generic server, waits for planning + deployment, then "replaces
+itself with a service-specific proxy before returning control to the
+requesting application" — afterwards every operation goes straight to
+the deployed root component with no framework indirection (which is why
+the dynamic scenarios of Figure 7 track their static counterparts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
+
+from ..sim.resources import Monitor
+from .component import RuntimeComponent, ServerStub
+from .lookup import ServiceRegistration
+from .messages import ServiceRequest, ServiceResponse
+from .server import ACCESS_REQUEST_BYTES, ACCESS_RESPONSE_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import SmockRuntime
+
+__all__ = ["GenericProxy", "ServiceProxy", "BindRecord"]
+
+
+@dataclass
+class BindRecord:
+    """One-time binding costs as perceived by this client (§4.2)."""
+
+    lookup_ms: float = 0.0
+    access_round_trip_ms: float = 0.0
+    planning_ms: float = 0.0
+    deployment_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return (
+            self.lookup_ms
+            + self.access_round_trip_ms
+            + self.planning_ms
+            + self.deployment_ms
+        )
+
+
+class ServiceProxy:
+    """Direct binding to the deployed root component."""
+
+    def __init__(
+        self,
+        runtime: "SmockRuntime",
+        client_node: str,
+        interface: str,
+        root: RuntimeComponent,
+        user: Optional[str] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.client_node = client_node
+        self.interface = interface
+        self.root = root
+        self.user = user
+        self._stub = ServerStub(runtime, interface, client_node, root)
+        self.latency = Monitor(f"proxy:{client_node}")
+
+    def request(
+        self,
+        op: str,
+        payload: Optional[Dict[str, Any]] = None,
+        size_bytes: int = 512,
+        response_is_error: bool = False,
+    ) -> Generator[Any, Any, ServiceResponse]:
+        """Process generator: one service operation, end to end."""
+        start = self.runtime.sim.now
+        req = ServiceRequest(
+            op=op, payload=dict(payload or {}), size_bytes=size_bytes, user=self.user
+        )
+        resp = yield from self._stub.request(req)
+        self.latency.observe(self.runtime.sim.now - start)
+        return resp
+
+
+class GenericProxy:
+    """The proxy downloaded from the lookup service.
+
+    Binds lazily: the first :meth:`request` (or an explicit
+    :meth:`bind`) performs Figure 1's steps 3-5 and swaps in the
+    service-specific proxy.
+    """
+
+    def __init__(
+        self,
+        runtime: "SmockRuntime",
+        registration: ServiceRegistration,
+        client_node: str,
+    ) -> None:
+        self.runtime = runtime
+        self.registration = registration
+        self.client_node = client_node
+        self.service_proxy: Optional[ServiceProxy] = None
+        self.bind_record: Optional[BindRecord] = None
+
+    @property
+    def bound(self) -> bool:
+        return self.service_proxy is not None
+
+    def bind(
+        self,
+        context: Optional[Dict[str, Any]] = None,
+        interface: Optional[str] = None,
+        request_rate: float = 0.0,
+        algorithm: Optional[str] = None,
+    ) -> Generator[Any, Any, ServiceProxy]:
+        """Process generator: contact the generic server, deploy, swap."""
+        runtime = self.runtime
+        sim = runtime.sim
+        context = dict(context or {})
+        bundle = runtime.bundle_for(self.registration.name)
+        interface = interface or bundle.default_interface
+        server = bundle.server
+
+        record = BindRecord()
+        t0 = sim.now
+        # Step 3: request + supporting credentials travel to the server.
+        yield from runtime.transport.deliver(
+            self.client_node, server.host_node, ACCESS_REQUEST_BYTES
+        )
+        access = yield from server.handle_access(
+            self.client_node,
+            context,
+            interface,
+            request_rate=request_rate,
+            algorithm=algorithm,
+        )
+        # The service-specific proxy (binding info) returns to the client.
+        yield from runtime.transport.deliver(
+            server.host_node, self.client_node, ACCESS_RESPONSE_BYTES
+        )
+        record.access_round_trip_ms = sim.now - t0 - access.total_ms
+        record.planning_ms = access.planning_ms
+        record.deployment_ms = access.deployment.total_ms
+
+        self.service_proxy = ServiceProxy(
+            runtime,
+            self.client_node,
+            interface,
+            access.deployment.root_instance,
+            user=context.get("User"),
+        )
+        self.bind_record = record
+        runtime.bind_records.append(record)
+        return self.service_proxy
+
+    def request(
+        self,
+        op: str,
+        payload: Optional[Dict[str, Any]] = None,
+        size_bytes: int = 512,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> Generator[Any, Any, ServiceResponse]:
+        """Process generator: bind on first use, then delegate."""
+        if self.service_proxy is None:
+            yield from self.bind(context=context)
+        assert self.service_proxy is not None
+        resp = yield from self.service_proxy.request(op, payload, size_bytes)
+        return resp

@@ -1,0 +1,175 @@
+"""Dynamic replanning on network change (paper §6, first limitation).
+
+The shipped planner assumes node/link properties are fixed for the
+lifetime of a deployment.  §6 sketches the fix: integrate a monitoring
+tool (Remos-like; see :mod:`repro.network.monitor`), feed observed
+changes to the planner, and let it decide "whether a new deployment
+(either incremental or complete) is called for", taking care that
+"service redeployment needs to preserve state compatibility between the
+two configurations".
+
+:class:`ReplanManager` implements that loop:
+
+1. it tracks every active client binding (proxy + original request);
+2. a monitor subscription fires on any observed change; a replanning
+   process is scheduled (debounced to one per observation burst);
+3. each binding is re-planned against the updated network; bindings
+   whose optimal plan changed are redeployed *incrementally* — new
+   placements install first, the proxy is re-bound, and obsolete
+   instances are retired only after their coherence buffers have been
+   flushed upstream (state preservation);
+4. placements shared with unaffected bindings survive untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from ..network.monitor import ChangeEvent, NetworkMonitor
+from ..planner import DeploymentPlan, DeploymentState, Placement, PlanningError, PlanRequest
+from .proxy import ServiceProxy
+
+__all__ = ["ReplanManager", "ReplanEvent"]
+
+
+@dataclass
+class ReplanEvent:
+    """Record of one replanning round (for experiments/tests)."""
+
+    time_ms: float
+    trigger: Optional[ChangeEvent]
+    rebound: List[str] = field(default_factory=list)  # client nodes re-deployed
+    installed: List[str] = field(default_factory=list)  # new placement labels
+    retired: List[str] = field(default_factory=list)  # removed placement labels
+    failures: List[str] = field(default_factory=list)  # clients left unservable
+
+
+@dataclass
+class _Binding:
+    proxy: ServiceProxy
+    request: PlanRequest
+    plan: DeploymentPlan
+
+
+class ReplanManager:
+    """Keeps deployments optimal as the network changes."""
+
+    def __init__(self, runtime: Any, monitor: NetworkMonitor) -> None:
+        self.runtime = runtime
+        self.monitor = monitor
+        self.bundle = runtime.primary
+        self.bindings: List[_Binding] = []
+        self.events: List[ReplanEvent] = []
+        self._scheduled = False
+        monitor.subscribe(self._on_change)
+
+    # -- tracking -----------------------------------------------------------
+    def track(self, proxy: ServiceProxy, request: PlanRequest, plan: DeploymentPlan) -> None:
+        """Register an active binding for future replanning."""
+        self.bindings.append(_Binding(proxy, request, plan))
+
+    def track_access(self, proxy: ServiceProxy, access: Any) -> None:
+        """Convenience: track from a GenericServer access record."""
+        request = PlanRequest(
+            interface=proxy.interface,
+            client_node=access.client_node,
+            context=dict(access.context),
+        )
+        self.track(proxy, request, access.plan)
+
+    # -- change handling ----------------------------------------------------
+    def _on_change(self, change: ChangeEvent) -> None:
+        if self._scheduled:
+            return  # debounce: one replan per observation burst
+        self._scheduled = True
+        sim = self.runtime.sim
+
+        def kick() -> None:
+            self._scheduled = False
+            sim.process(self.replan_all(trigger=change), name="replan")
+
+        sim.call_at(sim.now, kick)
+
+    # -- the replanning round ---------------------------------------------------
+    def replan_all(
+        self, trigger: Optional[ChangeEvent] = None
+    ) -> Generator[Any, Any, ReplanEvent]:
+        """Process generator: recompute every binding, redeploy deltas."""
+        runtime = self.runtime
+        bundle = self.bundle
+        planner = bundle.planner
+        event = ReplanEvent(time_ms=runtime.sim.now, trigger=trigger)
+
+        # Re-plan each binding against a state seeded with primaries and
+        # (incrementally) the kept/new placements of earlier bindings —
+        # later bindings can reuse what earlier ones keep.
+        state = DeploymentState()
+        for placement in planner.state.placements():
+            if placement.key in bundle.instances and self._is_primary(placement):
+                state.add(placement)
+
+        from ..planner.planner import ALGORITHMS
+
+        algo = ALGORITHMS[planner.algorithm]
+        new_plans: List[Optional[DeploymentPlan]] = []
+        for binding in self.bindings:
+            plan = algo(planner.ctx, binding.request, state, planner.objective)
+            if plan is None:
+                event.failures.append(binding.request.client_node)
+                new_plans.append(None)
+                continue
+            new_plans.append(plan)
+            for placement in plan.placements:
+                state.add(placement)
+
+        # Compute the new desired placement-key set.
+        desired: Set[Tuple] = set()
+        for plan in new_plans:
+            if plan is not None:
+                desired.update(p.key for p in plan.placements)
+        for placement in planner.state.placements():
+            if self._is_primary(placement):
+                desired.add(placement.key)
+
+        # Deploy changed bindings (install new placements, rebind proxies).
+        for binding, plan in zip(list(self.bindings), new_plans):
+            if plan is None:
+                continue
+            if self._same_structure(binding.plan, plan):
+                binding.plan = plan
+                continue
+            record = yield from runtime.deployer.execute(plan, bundle)
+            binding.proxy.root = record.root_instance
+            binding.plan = plan
+            event.rebound.append(binding.request.client_node)
+            event.installed.extend(i.label for i in record.new_instances)
+
+        # Retire instances no longer referenced by any binding, flushing
+        # replica state upstream first (state preservation).
+        current_keys = list(bundle.instances.keys())
+        for key in current_keys:
+            if key in desired:
+                continue
+            instance = bundle.instances[key]
+            flush = getattr(instance, "_sync", None)
+            if flush is not None and getattr(instance, "replica_id", None) is not None:
+                yield from flush()
+            placement = Placement(unit=key[0], node=key[1], factor_values=key[2])
+            runtime.deployer.uninstall(placement, bundle)
+            event.retired.append(instance.label)
+
+        # Rebuild the planner's deployment state to match reality.
+        planner.state = state
+        self.events.append(event)
+        return event
+
+    # -- helpers ----------------------------------------------------------------
+    def _is_primary(self, placement: Placement) -> bool:
+        """Placements registered as coherence primaries are permanent."""
+        unit = self.bundle.spec.unit(placement.unit)
+        return not unit.is_view and unit.is_terminal
+
+    @staticmethod
+    def _same_structure(a: DeploymentPlan, b: DeploymentPlan) -> bool:
+        return {p.key for p in a.placements} == {p.key for p in b.placements}

@@ -1,0 +1,374 @@
+"""The Smock runtime facade.
+
+Owns the simulator, the materialized network, per-node wrappers, and the
+lookup service — plus one :class:`~repro.smock.bundle.ServiceBundle` per
+hosted service (spec, planner, generic server, coherence directory,
+component classes, live instances).  A runtime constructed with a single
+spec behaves exactly like a single-service deployment; further services
+join via :meth:`add_service`, each with its own generic-server instance
+("spreading out requests for different services among multiple
+instances", §3.2).
+
+Experiments interact almost exclusively with this class::
+
+    runtime = SmockRuntime(spec, network, translator)
+    runtime.register_component("MailServer", MailServerComponent)
+    runtime.register_service("mail", default_interface="ClientInterface")
+    runtime.preinstall("MailServer", "newyork-ms")
+    proxy = runtime.run(runtime.client_connect("sandiego-client1",
+                                               {"User": "Bob"}))
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple, Type
+
+from ..coherence import (
+    CoherenceDirectory,
+    ConflictMap,
+    FlushPolicy,
+    NeverPolicy,
+)
+from ..network import CredentialTranslator, Network
+from ..planner import (
+    DeploymentPlan,
+    Placement,
+    Planner,
+    PlanningError,
+    PlanRequest,
+)
+from ..sim import Simulator
+from ..spec import ComponentDef, ServiceSpec, ViewDef
+from .bundle import ServiceBundle
+from .component import RuntimeComponent
+from .deployment import Deployer, DeploymentError, DeploymentRecord
+from .lookup import LookupService
+from .proxy import BindRecord, GenericProxy, ServiceProxy
+from .server import DEFAULT_PLANNING_WORK, GenericServer
+from .transport import RuntimeTransport
+from .wrapper import NodeWrapper
+
+__all__ = ["SmockRuntime"]
+
+
+class SmockRuntime:
+    """Everything needed to run partitionable services end to end."""
+
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        network: Network,
+        translator: CredentialTranslator,
+        *,
+        sim: Optional[Simulator] = None,
+        objective: Any = None,
+        algorithm: str = "exhaustive",
+        lookup_node: Optional[str] = None,
+        server_node: Optional[str] = None,
+        code_base_node: Optional[str] = None,
+        planning_work: float = DEFAULT_PLANNING_WORK,
+        conflict_map: Optional[ConflictMap] = None,
+        view_policy: Optional[Callable[[ViewDef, Any], FlushPolicy]] = None,
+    ) -> None:
+        self.network = network
+        self.sim = sim or Simulator()
+        self.transport = RuntimeTransport(self.sim, network)
+        first_node = next(iter(network.nodes())).name
+        self.lookup_node = lookup_node or first_node
+        self.server_node = server_node or self.lookup_node
+        self.code_base_node = code_base_node or self.server_node
+
+        self.lookup = LookupService(self, self.lookup_node)
+        self.deployer = Deployer(self)
+        self.wrappers: Dict[str, NodeWrapper] = {
+            name: NodeWrapper(self, node)
+            for name, node in self.transport.nodes.items()
+        }
+
+        self.bind_records: List[BindRecord] = []
+        #: service-level shared configuration components may read in
+        #: lifecycle hooks (e.g. the mail service's account roster)
+        self.service_state: Dict[str, Any] = {}
+        self._ids = itertools.count(1)
+        self._bundles: Dict[str, ServiceBundle] = {}
+
+        # The primary service, constructed from the init arguments; its
+        # public name is assigned at register_service time.
+        self._primary = self._make_bundle(
+            name="__primary__",
+            spec=spec,
+            translator=translator,
+            objective=objective,
+            algorithm=algorithm,
+            server_node=self.server_node,
+            code_base_node=self.code_base_node,
+            planning_work=planning_work,
+            conflict_map=conflict_map,
+            view_policy=view_policy,
+        )
+
+    # -- bundle plumbing ---------------------------------------------------------
+    def _make_bundle(
+        self,
+        name: str,
+        spec: ServiceSpec,
+        translator: CredentialTranslator,
+        objective: Any,
+        algorithm: str,
+        server_node: str,
+        code_base_node: str,
+        planning_work: float,
+        conflict_map: Optional[ConflictMap],
+        view_policy: Optional[Callable[[ViewDef, Any], FlushPolicy]],
+    ) -> ServiceBundle:
+        planner = Planner(spec, self.network, translator, objective, algorithm)
+        bundle = ServiceBundle(
+            name=name,
+            spec=spec,
+            planner=planner,
+            server=None,  # type: ignore[arg-type]  (set right below)
+            coherence=CoherenceDirectory(conflict_map),
+            code_base_node=code_base_node,
+            view_policy=view_policy or (lambda view, instance: NeverPolicy()),
+        )
+        bundle.server = GenericServer(self, server_node, planning_work, bundle=bundle)
+        return bundle
+
+    @property
+    def primary(self) -> ServiceBundle:
+        """The bundle built from the constructor arguments."""
+        return self._primary
+
+    def bundle_for(self, service_name: str) -> ServiceBundle:
+        try:
+            return self._bundles[service_name]
+        except KeyError:
+            raise DeploymentError(f"no service registered as {service_name!r}") from None
+
+    def bundles(self) -> List[ServiceBundle]:
+        return list(dict.fromkeys(self._bundles.values()))
+
+    # -- single-service compatibility surface (the primary bundle) ---------------
+    @property
+    def spec(self) -> ServiceSpec:
+        return self._primary.spec
+
+    @property
+    def planner(self) -> Planner:
+        return self._primary.planner
+
+    @property
+    def generic_server(self) -> GenericServer:
+        return self._primary.server
+
+    @property
+    def coherence(self) -> CoherenceDirectory:
+        return self._primary.coherence
+
+    @property
+    def instances(self) -> Dict[Tuple, RuntimeComponent]:
+        return self._primary.instances
+
+    @property
+    def component_classes(self) -> Dict[str, Type[RuntimeComponent]]:
+        return self._primary.component_classes
+
+    @property
+    def view_policy(self):
+        return self._primary.view_policy
+
+    @view_policy.setter
+    def view_policy(self, fn) -> None:
+        self._primary.view_policy = fn
+
+    def component_class(self, unit_name: str) -> Type[RuntimeComponent]:
+        return self._primary.component_class(unit_name)
+
+    # -- registration -----------------------------------------------------------
+    def register_component(
+        self, unit_name: str, cls: Type[RuntimeComponent], service: Optional[str] = None
+    ) -> None:
+        """Associate a runtime class with a spec unit."""
+        bundle = self.bundle_for(service) if service else self._primary
+        bundle.spec.unit(unit_name)  # raises if unknown
+        bundle.component_classes[unit_name] = cls
+
+    def register_service(
+        self,
+        name: str,
+        default_interface: str,
+        attributes: Optional[Dict[str, Any]] = None,
+        proxy_code_bytes: int = 60_000,
+    ) -> ServiceBundle:
+        """Step 1 of Figure 1 for the primary service."""
+        self._primary.spec.interface(default_interface)  # raises if unknown
+        self._primary.name = name
+        self._primary.default_interface = default_interface
+        self._bundles[name] = self._primary
+        self.lookup.register(name, attributes, proxy_code_bytes)
+        return self._primary
+
+    def add_service(
+        self,
+        name: str,
+        spec: ServiceSpec,
+        translator: CredentialTranslator,
+        default_interface: str,
+        *,
+        component_classes: Optional[Dict[str, Type[RuntimeComponent]]] = None,
+        objective: Any = None,
+        algorithm: str = "exhaustive",
+        server_node: Optional[str] = None,
+        code_base_node: Optional[str] = None,
+        planning_work: float = DEFAULT_PLANNING_WORK,
+        conflict_map: Optional[ConflictMap] = None,
+        view_policy: Optional[Callable[[ViewDef, Any], FlushPolicy]] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+        proxy_code_bytes: int = 60_000,
+    ) -> ServiceBundle:
+        """Host an additional service on this runtime.
+
+        The new service gets its own generic-server instance (optionally
+        on its own host node), planner and coherence directory; the
+        simulator, network and wrappers are shared.
+        """
+        if name in self._bundles:
+            raise DeploymentError(f"service {name!r} already registered")
+        spec.interface(default_interface)
+        bundle = self._make_bundle(
+            name=name,
+            spec=spec,
+            translator=translator,
+            objective=objective,
+            algorithm=algorithm,
+            server_node=server_node or self.server_node,
+            code_base_node=code_base_node or server_node or self.code_base_node,
+            planning_work=planning_work,
+            conflict_map=conflict_map,
+            view_policy=view_policy,
+        )
+        bundle.default_interface = default_interface
+        for unit_name, cls in (component_classes or {}).items():
+            spec.unit(unit_name)
+            bundle.component_classes[unit_name] = cls
+        self._bundles[name] = bundle
+        self.lookup.register(name, attributes, proxy_code_bytes)
+        return bundle
+
+    def default_interface(self, service_name: str) -> str:
+        return self.bundle_for(service_name).default_interface
+
+    def next_instance_id(self, placement: Placement) -> str:
+        return f"{placement.label()}#{next(self._ids)}"
+
+    # -- bootstrap ----------------------------------------------------------------
+    def preinstall(
+        self, unit_name: str, node: str, service: Optional[str] = None
+    ) -> RuntimeComponent:
+        """Stand up an already-running component (no simulated cost).
+
+        Models service state that predates the observation window, e.g.
+        the primary MailServer in New York.  Registers the instance as
+        the coherence primary of its own family.
+        """
+        bundle = self.bundle_for(service) if service else self._primary
+        placement = bundle.planner.preinstall(unit_name, node)
+        unit = bundle.spec.unit(unit_name)
+        cls = bundle.component_class(unit_name)
+        instance = cls(
+            runtime=self,
+            unit=unit,
+            node=self.transport.node(node),
+            factor_values=dict(placement.factor_values),
+            instance_id=self.next_instance_id(placement),
+        )
+        instance.bundle = bundle
+        self.wrappers[node].installed[instance.instance_id] = instance
+        self.transport.node(node).installed[instance.instance_id] = instance
+        bundle.instances[placement.key] = instance
+        if not isinstance(unit, ViewDef):
+            bundle.coherence.register_primary(unit_name, instance)
+        instance.on_install()
+        instance.on_linked()
+        return instance
+
+    def register_replica(
+        self, instance: RuntimeComponent, view: ViewDef, bundle: Optional[ServiceBundle] = None
+    ) -> None:
+        """Hook the deployer calls for each new data-view instance."""
+        bundle = bundle or getattr(instance, "bundle", None) or self._primary
+        config = (view.name, tuple(sorted(instance.factor_values.items())))
+        policy = bundle.view_policy(view, instance)
+        entry = bundle.coherence.register_replica(
+            family=view.represents,
+            config=config,
+            host=instance,
+            policy=policy,
+            now_ms=self.sim.now,
+        )
+        instance.replica_id = entry.replica_id  # type: ignore[attr-defined]
+
+    # -- client path ------------------------------------------------------------
+    def client_connect(
+        self,
+        client_node: str,
+        context: Optional[Dict[str, Any]] = None,
+        service: Optional[str] = None,
+        request_rate: float = 0.0,
+        algorithm: Optional[str] = None,
+    ) -> Generator[Any, Any, ServiceProxy]:
+        """Process generator: lookup, download proxy, bind (steps 2-5)."""
+        t0 = self.sim.now
+        name = service or next(iter(self._bundles))
+        proxy = yield from self.lookup.lookup(client_node, name=name)
+        lookup_ms = self.sim.now - t0
+        service_proxy = yield from proxy.bind(
+            context=context, request_rate=request_rate, algorithm=algorithm
+        )
+        assert proxy.bind_record is not None
+        proxy.bind_record.lookup_ms = lookup_ms
+        return service_proxy
+
+    def deploy_manual(
+        self, plan: DeploymentPlan, service: Optional[str] = None
+    ) -> DeploymentRecord:
+        """Execute a hand-written plan immediately (static scenarios).
+
+        Bypasses the planner entirely — static deployments are how the
+        paper's SS* baselines were "hand-generated", and they may violate
+        constraints the planner would reject (that is the point of the
+        SS scenario).  Runs the deployment to completion on the
+        simulator.
+        """
+        bundle = self.bundle_for(service) if service else self._primary
+        proc = self.sim.process(
+            self.deployer.execute(plan, bundle), name="manual-deploy"
+        )
+        self.sim.run_until_complete(proc)
+        return proc.value
+
+    # -- convenience ---------------------------------------------------------------
+    def run(self, generator: Generator, name: str = "runtime-task") -> Any:
+        """Run one process generator to completion on the simulator."""
+        proc = self.sim.process(generator, name=name)
+        return self.sim.run_until_complete(proc)
+
+    def instance_of(
+        self, unit_name: str, node: Optional[str] = None, service: Optional[str] = None
+    ) -> RuntimeComponent:
+        """Find a live instance by unit (and optionally node/service)."""
+        bundle = self.bundle_for(service) if service else self._primary
+        for (unit, inode, _factors), inst in bundle.instances.items():
+            if unit == unit_name and (node is None or inode == node):
+                return inst
+        raise KeyError(
+            f"no live instance of {unit_name!r}" + (f" on {node!r}" if node else "")
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = sum(len(b.instances) for b in self.bundles())
+        return (
+            f"<SmockRuntime services={sorted(self._bundles)} "
+            f"instances={total} t={self.sim.now:.1f}ms>"
+        )

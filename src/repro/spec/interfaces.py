@@ -1,0 +1,40 @@
+"""Interface declarations (paper §3.1).
+
+Interfaces "play the same role as in object-oriented languages, serving
+as the granularity for identifying functionality implemented by the
+service"; each interface lists the properties that serve as its
+attributes (e.g. ``ServerInterface`` carries ``Confidentiality`` and
+``TrustLevel``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from .properties import SpecError
+
+__all__ = ["InterfaceDef"]
+
+
+@dataclass(frozen=True)
+class InterfaceDef:
+    """One named interface and the properties attached to it."""
+
+    name: str
+    properties: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("interface name must be non-empty")
+        seen = set()
+        for p in self.properties:
+            if p in seen:
+                raise SpecError(f"interface {self.name!r} lists property {p!r} twice")
+            seen.add(p)
+
+    def has_property(self, prop: str) -> bool:
+        return prop in self.properties
+
+    def __repr__(self) -> str:
+        return f"<Interface {self.name} props={list(self.properties)}>"

@@ -1,0 +1,14 @@
+"""dRBAC-style decentralized trust management (paper §6 extension)."""
+
+from .credentials import Credential, Role, TrustError
+from .engine import TrustEngine
+from .translator import TrustTranslator, parse_role_value
+
+__all__ = [
+    "Role",
+    "Credential",
+    "TrustError",
+    "TrustEngine",
+    "TrustTranslator",
+    "parse_role_value",
+]

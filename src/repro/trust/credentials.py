@@ -1,0 +1,125 @@
+"""Delegation credentials, dRBAC-style (paper §6).
+
+The paper's second limitation: credential-to-property translation is a
+service-specific function.  §6 proposes a service-independent mechanism:
+"associate both network and service components with different types of
+credentials, whose namespace refers to the properties of interest in
+each case.  Transforming properties in one namespace into properties in
+another then becomes a simple matter of issuing a different kind of
+credential, which delegates to one all of the privileges associated with
+the other."  The cited mechanism is dRBAC [10].
+
+Model (a faithful miniature of dRBAC):
+
+- a **role** is a namespaced name, ``"net.SecureLink"`` or
+  ``"mail.Confidentiality=T"`` — written ``namespace.name``;
+- an **attribution** credential asserts that a subject (a node or link)
+  holds a role, signed by the namespace's issuing authority;
+- a **delegation** credential asserts that any holder of role A also
+  holds role B (possibly across namespaces), signed by B's authority —
+  this is the translation step;
+- credentials carry validity intervals and may be revoked; the engine
+  re-derives the role closure on every query, which is what lets the
+  monitoring integration react to credential expiry (§6: "continuous
+  monitoring of credential validity").
+
+Signatures are simulated by issuer identity checks: a credential for
+namespace ``ns`` is only accepted if its issuer is ``ns``'s registered
+authority.  (Real dRBAC uses public-key signatures; the *logic* —
+namespace-scoped issuance and delegation-chain discovery — is what the
+framework depends on, and that is reproduced exactly.)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["Role", "Credential", "TrustError"]
+
+_serials = itertools.count(1)
+
+
+class TrustError(ValueError):
+    """Malformed role/credential or unauthorized issuance."""
+
+
+@dataclass(frozen=True)
+class Role:
+    """A namespaced role, e.g. ``Role("mail", "TrustLevel=3")``."""
+
+    namespace: str
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.namespace or not self.name:
+            raise TrustError("role needs both a namespace and a name")
+        if "." in self.namespace:
+            raise TrustError(f"namespace may not contain '.': {self.namespace!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Role":
+        ns, _, name = text.partition(".")
+        if not name:
+            raise TrustError(f"malformed role {text!r}; expected 'namespace.name'")
+        return cls(ns, name)
+
+    def __str__(self) -> str:
+        return f"{self.namespace}.{self.name}"
+
+
+@dataclass(frozen=True)
+class Credential:
+    """One signed assertion.
+
+    ``kind`` is ``"attribution"`` (subject holds role) or
+    ``"delegation"`` (holders of ``from_role`` also hold ``role``).
+    ``issuer`` must be the authority of ``role.namespace`` for the
+    credential to be honored.  Validity is a half-open interval
+    ``[valid_from, valid_until)`` in simulation milliseconds; ``None``
+    bounds are open.
+    """
+
+    role: Role
+    issuer: str
+    subject: Optional[str] = None  # attribution target
+    from_role: Optional[Role] = None  # delegation source
+    valid_from: Optional[float] = None
+    valid_until: Optional[float] = None
+    serial: int = field(default_factory=lambda: next(_serials))
+
+    def __post_init__(self) -> None:
+        if (self.subject is None) == (self.from_role is None):
+            raise TrustError(
+                "credential must have exactly one of subject (attribution) "
+                "or from_role (delegation)"
+            )
+        if (
+            self.valid_from is not None
+            and self.valid_until is not None
+            and self.valid_from >= self.valid_until
+        ):
+            raise TrustError("empty validity interval")
+
+    @property
+    def kind(self) -> str:
+        return "attribution" if self.subject is not None else "delegation"
+
+    def valid_at(self, now: Optional[float]) -> bool:
+        """Is the credential within its validity interval at ``now``?
+
+        ``now=None`` means "ignore time" (static queries).
+        """
+        if now is None:
+            return True
+        if self.valid_from is not None and now < self.valid_from:
+            return False
+        if self.valid_until is not None and now >= self.valid_until:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        if self.subject is not None:
+            return f"<Cred#{self.serial} {self.subject} holds {self.role} (by {self.issuer})>"
+        return f"<Cred#{self.serial} {self.from_role} => {self.role} (by {self.issuer})>"

@@ -1,0 +1,119 @@
+"""Service-independent credential translation via the trust engine.
+
+This realizes §6's proposal end to end: network authorities attribute
+roles in the ``net`` namespace to nodes and links ("net.trust=3",
+"net.secure"); the *service* authority issues delegation credentials
+translating those into roles in its own namespace
+("mail.TrustLevel=3", "mail.Confidentiality=T"); the planner then reads
+node/path environments straight out of role closures — no
+service-specific translation *function* anywhere.
+
+Role-to-property convention: a role named ``<Property>=<value>`` in the
+service's namespace asserts that property value; values parse as
+``T``/``F`` booleans, integers, floats, or strings.  When a subject
+holds several values of one property, numeric properties resolve to the
+maximum for ``at_least`` match modes, minimum for ``at_most``, and the
+latest-issued otherwise; booleans resolve to *and* over path hops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..network.credentials import CredentialTranslator, Environment
+from ..network.topology import LinkInfo, NodeInfo, PathInfo
+from ..spec import ServiceSpec
+from .engine import TrustEngine
+
+__all__ = ["TrustTranslator", "parse_role_value"]
+
+
+def parse_role_value(text: str) -> Any:
+    """Parse the value part of a ``Property=value`` role name."""
+    if text == "T":
+        return True
+    if text == "F":
+        return False
+    for conv in (int, float):
+        try:
+            return conv(text)
+        except ValueError:
+            continue
+    return text
+
+
+class TrustTranslator(CredentialTranslator):
+    """A :class:`CredentialTranslator` backed by a :class:`TrustEngine`.
+
+    ``clock`` supplies the query time (wire it to ``sim.now`` so
+    credential expiry affects planning); ``None`` ignores validity.
+    """
+
+    def __init__(
+        self,
+        engine: TrustEngine,
+        service_namespace: str,
+        spec: Optional[ServiceSpec] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.engine = engine
+        self.namespace = service_namespace
+        self.spec = spec
+        self.clock = clock
+
+    def _now(self) -> Optional[float]:
+        return self.clock() if self.clock is not None else None
+
+    def _match_mode(self, prop: str) -> str:
+        if self.spec is not None and prop in self.spec.properties:
+            return self.spec.properties[prop].match_mode
+        return "exact"
+
+    def _subject_properties(self, subject: str) -> Dict[str, Any]:
+        values: Dict[str, List[Any]] = {}
+        for role in self.engine.roles_of(subject, self._now()):
+            if role.namespace != self.namespace or "=" not in role.name:
+                continue
+            prop, _, raw = role.name.partition("=")
+            values.setdefault(prop, []).append(parse_role_value(raw))
+        out: Dict[str, Any] = {}
+        for prop, vals in values.items():
+            out[prop] = self._resolve(prop, vals)
+        return out
+
+    def _resolve(self, prop: str, vals: List[Any]) -> Any:
+        if len(vals) == 1:
+            return vals[0]
+        if all(isinstance(v, bool) for v in vals):
+            return all(vals)
+        if all(isinstance(v, (int, float)) for v in vals):
+            mode = self._match_mode(prop)
+            return min(vals) if mode == "at_most" else max(vals)
+        return vals[-1]
+
+    # -- CredentialTranslator hooks ----------------------------------------
+    def node_environment(self, node: NodeInfo) -> Environment:
+        return Environment(self._subject_properties(node.name))
+
+    def path_environment(self, path: PathInfo) -> Environment:
+        if not path.hops:
+            # Local interactions inherit the node's own properties.
+            return Environment(self._subject_properties(path.src))
+        combined: Optional[Dict[str, Any]] = None
+        for hop in path.hops:
+            env = self._subject_properties(hop.name)
+            if combined is None:
+                combined = env
+                continue
+            merged: Dict[str, Any] = {}
+            for prop in set(combined) & set(env):
+                a, b = combined[prop], env[prop]
+                if isinstance(a, bool) and isinstance(b, bool):
+                    merged[prop] = a and b
+                elif isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                    merged[prop] = min(a, b)
+                elif a == b:
+                    merged[prop] = a
+                # differing non-orderable values: not vouched end-to-end
+            combined = merged
+        return Environment(combined or {})

@@ -1,0 +1,120 @@
+"""ASCII rendering of topologies and deployments (Figures 5 and 6).
+
+Pure-text, dependency-free renderers used by the CLI and examples:
+
+- :func:`render_topology` — nodes grouped by a credential (site), links
+  with their latency/bandwidth/security annotations;
+- :func:`render_deployment` — a plan overlaid on the topology, the text
+  analogue of Figure 6's component boxes;
+- :func:`render_chain` — one plan as an arrow chain with per-linkage
+  path annotations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional
+
+from .network import Network
+from .planner import DeploymentPlan
+
+__all__ = ["render_topology", "render_deployment", "render_chain"]
+
+
+def _group_nodes(network: Network, group_by: str) -> Dict[str, List[str]]:
+    groups: Dict[str, List[str]] = defaultdict(list)
+    for node in network.nodes():
+        groups[str(node.credentials.get(group_by, "?"))].append(node.name)
+    return dict(sorted(groups.items()))
+
+
+def render_topology(network: Network, group_by: str = "site") -> str:
+    """Sites with their nodes, then every link with its annotations."""
+    lines: List[str] = []
+    groups = _group_nodes(network, group_by)
+    for group, nodes in groups.items():
+        trust = {
+            network.node(n).credentials.get("trust_level") for n in nodes
+        } - {None}
+        suffix = f"  (trust {sorted(trust)[0]})" if len(trust) == 1 else ""
+        lines.append(f"[{group}]{suffix}")
+        for name in sorted(nodes):
+            node = network.node(name)
+            lines.append(f"  o {name}  cpu={node.cpu_capacity:g}")
+    lines.append("")
+    lines.append("links:")
+    for link in sorted(network.links(), key=lambda l: l.name):
+        marker = "=====" if link.secure else "~ ~ ~"
+        lines.append(
+            f"  {link.a:>18s} {marker} {link.b:<18s} "
+            f"{link.latency_ms:g} ms / {link.bandwidth_mbps:g} Mb/s"
+            + ("" if link.secure else "  [insecure]")
+        )
+    return "\n".join(lines)
+
+
+_ABBREV = {
+    "MailClient": "MC",
+    "ViewMailClient": "VMC",
+    "MailServer": "MS",
+    "ViewMailServer": "VMS",
+    "Encryptor": "E",
+    "Decryptor": "D",
+}
+
+
+def _label(placement, abbrev: bool) -> str:
+    name = _ABBREV.get(placement.unit, placement.unit) if abbrev else placement.unit
+    factors = ",".join(f"{v}" for _k, v in placement.factor_values)
+    return f"{name}[{factors}]" if factors else name
+
+
+def render_deployment(
+    network: Network,
+    plans: Iterable[DeploymentPlan],
+    group_by: str = "site",
+    abbrev: bool = True,
+) -> str:
+    """Plans overlaid on the grouped topology — the Figure 6 picture.
+
+    Components from every plan are attached to their hosting nodes;
+    reused placements are marked with ``*``.
+    """
+    by_node: Dict[str, List[str]] = defaultdict(list)
+    for plan in plans:
+        for placement in plan.placements:
+            tag = _label(placement, abbrev) + ("*" if placement.reused else "")
+            if tag not in by_node[placement.node]:
+                by_node[placement.node].append(tag)
+
+    lines: List[str] = []
+    for group, nodes in _group_nodes(network, group_by).items():
+        lines.append(f"[{group}]")
+        for name in sorted(nodes):
+            deployed = by_node.get(name, [])
+            suffix = "  <- " + ", ".join(deployed) if deployed else ""
+            lines.append(f"  o {name}{suffix}")
+    legend = sorted(
+        {f"{abbr}={full}" for full, abbr in _ABBREV.items()}
+    ) if abbrev else []
+    if legend:
+        lines.append("")
+        lines.append("legend: " + ", ".join(legend) + ", *=reused")
+    return "\n".join(lines)
+
+
+def render_chain(network: Network, plan: DeploymentPlan, abbrev: bool = False) -> str:
+    """One plan as an annotated arrow chain, root first."""
+    order = plan.chain_from_root()
+    parts: List[str] = []
+    for i, placement in enumerate(order):
+        parts.append(f"{_label(placement, abbrev)}@{placement.node}")
+        if i + 1 < len(order):
+            path = network.path(placement.node, order[i + 1].node)
+            if path.is_local:
+                note = "local"
+            else:
+                sec = "secure" if path.secure else "INSECURE"
+                note = f"{path.latency_ms:g}ms/{path.bandwidth_mbps:g}Mbps {sec}"
+            parts.append(f" --[{note}]--> ")
+    return "".join(parts)

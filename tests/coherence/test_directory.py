@@ -1,0 +1,121 @@
+"""Tests for the coherence directory."""
+
+from typing import List
+
+import pytest
+
+from repro.coherence import (
+    AttributeConflictMap,
+    CoherenceDirectory,
+    CountPolicy,
+    NeverPolicy,
+    Update,
+)
+
+
+class FakeHost:
+    def __init__(self):
+        self.invalidations: List[Update] = []
+
+    def on_invalidate(self, updates):
+        self.invalidations.extend(updates)
+
+
+@pytest.fixture
+def directory():
+    return CoherenceDirectory(AttributeConflictMap("sensitivity", "TrustLevel", "le"))
+
+
+def cfg(trust):
+    return ("ViewMailServer", (("TrustLevel", trust),))
+
+
+def test_register_and_query(directory):
+    host = FakeHost()
+    entry = directory.register_replica("MailServer", cfg(3), host, CountPolicy(5))
+    assert entry.replica_id == 0
+    assert directory.replicas_of("MailServer") == [entry]
+    assert directory.entry(0) is entry
+    directory.register_primary("MailServer", "primary-host")
+    assert directory.primary_of("MailServer") == "primary-host"
+
+
+def test_on_local_update_buffers_until_threshold(directory):
+    entry = directory.register_replica("MailServer", cfg(3), FakeHost(), CountPolicy(5))
+    for i in range(4):
+        assert not directory.on_local_update(0, Update("store", {}, multiplicity=1), 0.0)
+    assert directory.on_local_update(0, Update("store", {}, multiplicity=1), 0.0)
+    assert entry.pending_units == 5
+
+
+def test_multiplicity_counts_toward_threshold(directory):
+    directory.register_replica("MailServer", cfg(3), FakeHost(), CountPolicy(10))
+    assert directory.on_local_update(0, Update("store", {}, multiplicity=10), 0.0)
+
+
+def test_drain_and_record_flush(directory):
+    directory.register_replica("MailServer", cfg(3), FakeHost(), CountPolicy(2))
+    directory.on_local_update(0, Update("store", {}, size_bytes=100, multiplicity=1), 0.0)
+    directory.on_local_update(0, Update("store", {}, size_bytes=100, multiplicity=1), 0.0)
+    batch, units = directory.drain(0)
+    assert len(batch) == 2 and units == 2
+    assert directory.entry(0).pending_units == 0
+    directory.record_flush(0, 50.0, batch)
+    assert directory.stats.syncs == 1
+    assert directory.stats.messages_propagated == 2
+    assert directory.stats.bytes_propagated == 200
+    assert directory.entry(0).last_flush_ms == 50.0
+
+
+def test_requeue_restores_batch_order(directory):
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    u1, u2, u3 = (Update("store", {"i": i}) for i in range(3))
+    directory.on_local_update(0, u1, 0.0)
+    directory.on_local_update(0, u2, 0.0)
+    batch, _ = directory.drain(0)
+    directory.on_local_update(0, u3, 0.0)
+    directory.requeue(0, batch)
+    batch2, units = directory.drain(0)
+    assert batch2 == [u1, u2, u3]
+    assert units == 3
+
+
+def test_broadcast_invalidations_respects_conflict_map(directory):
+    low = FakeHost()
+    high = FakeHost()
+    directory.register_replica("MailServer", cfg(2), low, NeverPolicy())
+    directory.register_replica("MailServer", cfg(5), high, NeverPolicy())
+    batch = [Update("store_message", {"sensitivity": 4, "recipient": "Alice"})]
+    n = directory.broadcast_invalidations("MailServer", batch)
+    assert n == 1  # only the trust-5 replica stores level-4 content
+    assert high.invalidations and not low.invalidations
+    assert directory.stats.invalidations == 1
+
+
+def test_broadcast_skips_origin_replica(directory):
+    origin = FakeHost()
+    other = FakeHost()
+    directory.register_replica("MailServer", cfg(3), origin, NeverPolicy())
+    directory.register_replica("MailServer", cfg(5), other, NeverPolicy())
+    batch = [Update("store_message", {"sensitivity": 1, "recipient": "Bob"})]
+    directory.broadcast_invalidations("MailServer", batch, origin_config=cfg(3))
+    assert not origin.invalidations
+    assert other.invalidations
+
+
+def test_unregister_replica(directory):
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    directory.unregister_replica(0)
+    assert directory.replicas_of("MailServer") == []
+    # idempotent
+    directory.unregister_replica(0)
+
+
+def test_needs_flush_time_driven(directory):
+    from repro.coherence import TimePolicy
+
+    directory.register_replica("MailServer", cfg(3), FakeHost(), TimePolicy(100.0))
+    assert not directory.needs_flush(0, 1000.0)  # clean
+    directory.on_local_update(0, Update("store", {}), 0.0)
+    assert not directory.needs_flush(0, 50.0)
+    assert directory.needs_flush(0, 100.0)

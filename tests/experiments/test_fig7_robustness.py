@@ -1,0 +1,37 @@
+"""Figure 7 robustness: the group structure must not depend on the
+workload seed (it is a property of the deployments, not of noise)."""
+
+import pytest
+
+from repro.experiments import run_scenario
+
+
+@pytest.mark.parametrize("seed", [101, 202])
+def test_groups_hold_across_seeds(seed):
+    means = {
+        name: run_scenario(name, 2, seed=seed).mean_send_ms
+        for name in ("DS0", "DS500", "DS1000", "SS")
+    }
+    assert means["DS0"] < means["DS1000"] < means["DS500"] < means["SS"]
+
+
+def test_results_deterministic_for_fixed_seed():
+    a = run_scenario("DS500", 2, seed=7)
+    b = run_scenario("DS500", 2, seed=7)
+    assert a.mean_send_ms == b.mean_send_ms
+    assert a.per_client_send_ms == b.per_client_send_ms
+    assert a.coherence_syncs == b.coherence_syncs
+
+
+def test_cluster_size_drives_coherence_units():
+    # Halving the multiplicity halves buffered units: one flush instead
+    # of two per client at limit 500.
+    full = run_scenario("DS500", 1, cluster_size=10)
+    half = run_scenario("DS500", 1, cluster_size=5)
+    assert half.coherence_syncs < full.coherence_syncs
+
+
+def test_more_sends_scale_syncs_linearly():
+    base = run_scenario("DS500", 1, n_sends=100)
+    double = run_scenario("DS500", 1, n_sends=200)
+    assert double.coherence_syncs == 2 * base.coherence_syncs

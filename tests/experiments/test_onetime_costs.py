@@ -1,0 +1,40 @@
+"""Tests for the §4.2 one-time cost measurement."""
+
+import pytest
+
+from repro.experiments import format_cost_table, measure_onetime_costs
+
+
+@pytest.fixture(scope="module")
+def costs():
+    return measure_onetime_costs()
+
+
+def test_all_sites_measured(costs):
+    assert [c.site for c in costs] == ["newyork", "sandiego", "seattle"]
+
+
+def test_every_phase_contributes(costs):
+    for c in costs:
+        assert c.lookup_ms > 0
+        assert c.access_round_trip_ms >= 0
+        assert c.planning_ms > 0
+        assert c.deployment_ms > 0
+
+
+def test_totals_are_seconds_scale(costs):
+    """The paper reports ~10 s summed across the configurations."""
+    total = sum(c.total_ms for c in costs)
+    assert 2_000 < total < 30_000
+
+
+def test_remote_sites_cost_more_than_local(costs):
+    by_site = {c.site: c for c in costs}
+    # NY deploys one component locally; SD ships four across a slow link.
+    assert by_site["sandiego"].total_ms > by_site["newyork"].total_ms
+
+
+def test_format_cost_table(costs):
+    table = format_cost_table(costs)
+    assert "newyork" in table and "planning" in table and "sum" in table
+    assert len(table.splitlines()) == 5

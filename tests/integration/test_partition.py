@@ -1,0 +1,45 @@
+"""Network partition: requests over severed paths fail gracefully and
+replanning recovers service."""
+
+import pytest
+
+from repro.experiments.mail_setup import build_mail_testbed
+from repro.network.monitor import NetworkMonitor
+from repro.smock.replanner import ReplanManager
+
+
+def test_partition_surfaces_as_failure_not_crash():
+    tb = build_mail_testbed(clients_per_site=2, flush_policy="never")
+    rt = tb.runtime
+    proxy = rt.run(rt.client_connect("sandiego-client1", {"User": "Bob"}))
+
+    # Sever San Diego from the world.
+    rt.network.remove_link("newyork-gw", "sandiego-gw")
+    rt.network.remove_link("sandiego-gw", "seattle-gw")
+
+    # Local sends still work (absorbed by the local cache).
+    local = rt.run(proxy.request(
+        "send_mail", {"recipient": "Alice", "sensitivity": 2, "body": "x"}))
+    assert local.ok
+
+    # A fetch forced upstream cannot cross the partition: clean failure.
+    remote = rt.run(proxy.request(
+        "fetch_mail", {"user": "Bob", "max_sensitivity": 5}))
+    assert not remote.ok
+    assert "unreachable" in remote.error
+
+
+def test_partition_heals_and_requests_recover():
+    tb = build_mail_testbed(clients_per_site=2, flush_policy="never")
+    rt = tb.runtime
+    proxy = rt.run(rt.client_connect("sandiego-client1", {"User": "Bob"}))
+    rt.network.remove_link("newyork-gw", "sandiego-gw")
+    rt.network.remove_link("sandiego-gw", "seattle-gw")
+    bad = rt.run(proxy.request("fetch_mail", {"user": "Bob", "max_sensitivity": 5}))
+    assert not bad.ok
+
+    # Reconnect; the same deployment works again (routing is dynamic).
+    rt.network.add_link("newyork-gw", "sandiego-gw",
+                        latency_ms=200.0, bandwidth_mbps=20.0, secure=False)
+    good = rt.run(proxy.request("fetch_mail", {"user": "Bob", "max_sensitivity": 5}))
+    assert good.ok

@@ -1,0 +1,135 @@
+"""Integration tests for the §6 dynamic-replanning extension."""
+
+import pytest
+
+from repro.experiments.mail_setup import build_mail_testbed
+from repro.network.monitor import NetworkMonitor
+from repro.services.mail import WorkloadConfig, mail_workload
+from repro.smock.replanner import ReplanManager
+
+
+@pytest.fixture()
+def world():
+    tb = build_mail_testbed(clients_per_site=2, flush_policy="count:500",
+                            algorithm="exhaustive")
+    rt = tb.runtime
+    monitor = NetworkMonitor(rt.sim, rt.network, poll_interval_ms=1000.0)
+    manager = ReplanManager(rt, monitor)
+    proxy = rt.run(rt.client_connect("sandiego-client1", {"User": "Bob"}))
+    manager.track_access(proxy, rt.generic_server.accesses[-1])
+    return tb, rt, monitor, manager, proxy
+
+
+def test_monitor_reports_changes(world):
+    tb, rt, monitor, manager, proxy = world
+    monitor.perturb_link("newyork-gw", "sandiego-gw", latency_ms=500.0)
+    changes = monitor.poll()
+    assert len(changes) == 1
+    change = changes[0]
+    assert change.kind == "link"
+    assert change.attribute == "latency_ms"
+    assert (change.old, change.new) == (200.0, 500.0)
+    assert monitor.history == [change]
+
+
+def test_monitoring_lag_until_next_poll(world):
+    tb, rt, monitor, manager, proxy = world
+    monitor.start()
+    t0 = rt.sim.now
+    monitor.schedule_perturbation(
+        t0 + 100, lambda: monitor.perturb_link("newyork-gw", "sandiego-gw", secure=True)
+    )
+    rt.sim.run(until=t0 + 900)
+    assert not manager.events  # not observed yet
+    rt.sim.run(until=t0 + 5_000)
+    monitor.stop()
+    assert manager.events  # observed at the 1000 ms poll
+
+
+def test_link_becoming_secure_retires_crypto_pair(world):
+    tb, rt, monitor, manager, proxy = world
+    assert any(k[0] == "Encryptor" for k in rt.instances)
+    monitor.start()
+    monitor.schedule_perturbation(
+        rt.sim.now + 100,
+        lambda: monitor.perturb_link("newyork-gw", "sandiego-gw", secure=True),
+    )
+    rt.sim.run(until=rt.sim.now + 60_000)
+    monitor.stop()
+    event = manager.events[0]
+    assert any("Encryptor" in label for label in event.retired)
+    assert any("Decryptor" in label for label in event.retired)
+    assert not any(k[0] == "Encryptor" for k in rt.instances)
+    # The client keeps working through the rebound proxy.
+    result = rt.run(
+        mail_workload(
+            proxy,
+            WorkloadConfig(user="Bob", peers=["Alice"], n_sends=20, n_receives=2,
+                           max_sensitivity=3),
+        )
+    )
+    assert not result.errors
+
+
+def test_replica_state_flushed_before_retirement(world):
+    tb, rt, monitor, manager, proxy = world
+    # Buffer some updates below the flush threshold.
+    result = rt.run(
+        mail_workload(
+            proxy,
+            WorkloadConfig(user="Bob", peers=["Alice"], n_sends=20, n_receives=0,
+                           cluster_size=10, max_sensitivity=3),
+        )
+    )
+    assert not result.errors
+    primary = rt.instance_of("MailServer")
+    stored_before = primary.store.messages_stored
+    assert stored_before < 20  # most messages still buffered at the replica
+
+    monitor.start()
+    monitor.schedule_perturbation(
+        rt.sim.now + 100,
+        lambda: monitor.perturb_link("newyork-gw", "sandiego-gw", secure=True),
+    )
+    rt.sim.run(until=rt.sim.now + 60_000)
+    monitor.stop()
+    # State preservation: every buffered message reached the primary
+    # before (or during) the redeployment.
+    assert primary.store.messages_stored == 20
+
+
+def test_node_trust_upgrade_enables_local_full_client():
+    tb = build_mail_testbed(clients_per_site=2, algorithm="exhaustive")
+    rt = tb.runtime
+    monitor = NetworkMonitor(rt.sim, rt.network, poll_interval_ms=1000.0)
+    manager = ReplanManager(rt, monitor)
+    proxy = rt.run(rt.client_connect("seattle-client1", {"User": "Carol"}))
+    manager.track_access(proxy, rt.generic_server.accesses[-1])
+    assert proxy.root.unit.name == "ViewMailClient"
+
+    monitor.start()
+    monitor.schedule_perturbation(
+        rt.sim.now + 100,
+        lambda: monitor.perturb_node("seattle-client1", credentials={"trust_level": 4}),
+    )
+    rt.sim.run(until=rt.sim.now + 120_000)
+    monitor.stop()
+    assert manager.events
+    # With trust 4, the full MailClient becomes installable and wins.
+    assert proxy.root.unit.name == "MailClient"
+
+
+def test_replan_noop_when_change_is_irrelevant(world):
+    tb, rt, monitor, manager, proxy = world
+    before = {k for k in rt.instances}
+    monitor.start()
+    monitor.schedule_perturbation(
+        rt.sim.now + 100,
+        lambda: monitor.perturb_node("seattle-client2", cpu_capacity=900.0),
+    )
+    rt.sim.run(until=rt.sim.now + 10_000)
+    monitor.stop()
+    assert manager.events  # a replanning round did run
+    event = manager.events[0]
+    assert not event.rebound and not event.retired
+    assert {k for k in rt.instances} == before

@@ -1,0 +1,157 @@
+"""Tests for the static network model and routing."""
+
+import pytest
+
+from repro.network import LinkInfo, Network, NetworkError, NodeInfo, PathInfo
+
+
+def triangle():
+    net = Network()
+    for n in "abc":
+        net.add_node(n, cpu_capacity=1000, credentials={"site": n})
+    net.add_link("a", "b", latency_ms=200, bandwidth_mbps=20, secure=False)
+    net.add_link("b", "c", latency_ms=100, bandwidth_mbps=50, secure=False)
+    net.add_link("a", "c", latency_ms=400, bandwidth_mbps=8, secure=False)
+    return net
+
+
+def test_duplicate_node_rejected():
+    net = Network()
+    net.add_node("a")
+    with pytest.raises(NetworkError):
+        net.add_node("a")
+
+
+def test_link_requires_existing_nodes():
+    net = Network()
+    net.add_node("a")
+    with pytest.raises(NetworkError):
+        net.add_link("a", "b")
+
+
+def test_self_link_rejected():
+    net = Network()
+    net.add_node("a")
+    with pytest.raises(NetworkError):
+        net.add_link("a", "a")
+
+
+def test_duplicate_link_rejected_both_directions():
+    net = Network()
+    net.add_node("a")
+    net.add_node("b")
+    net.add_link("a", "b")
+    with pytest.raises(NetworkError):
+        net.add_link("b", "a")
+
+
+def test_link_lookup_is_symmetric():
+    net = triangle()
+    assert net.link("a", "b") is net.link("b", "a")
+
+
+def test_shortest_path_by_latency():
+    net = triangle()
+    p = net.path("a", "c")
+    # a->b->c is 300 ms, beating the direct 400 ms link.
+    assert [h.name for h in p.hops] == ["a<->b", "b<->c"]
+    assert p.latency_ms == 300
+    assert p.bandwidth_mbps == 20  # bottleneck
+    assert not p.secure
+
+
+def test_path_same_node_is_local():
+    net = triangle()
+    p = net.path("a", "a")
+    assert p.is_local
+    assert p.latency_ms == 0
+    assert p.secure
+    assert p.bandwidth_mbps == float("inf")
+    assert p.transfer_time_ms(10**9) == 0.0
+
+
+def test_path_disconnected_raises():
+    net = Network()
+    net.add_node("a")
+    net.add_node("b")
+    with pytest.raises(NetworkError):
+        net.path("a", "b")
+    assert not net.connected("a", "b")
+
+
+def test_path_cache_invalidated_on_mutation():
+    net = triangle()
+    assert net.path("a", "c").latency_ms == 300
+    net.remove_link("a", "b")
+    assert net.path("a", "c").latency_ms == 400
+
+
+def test_touch_bumps_version_and_clears_cache():
+    net = triangle()
+    v = net.version
+    p1 = net.path("a", "c")
+    net.link("a", "b").latency_ms = 1000
+    net.touch()
+    assert net.version > v
+    p2 = net.path("a", "c")
+    assert p2.latency_ms == 400  # direct link now wins
+
+
+def test_secure_path_requires_all_hops_secure():
+    net = Network()
+    for n in "abc":
+        net.add_node(n)
+    net.add_link("a", "b", latency_ms=1, secure=True)
+    net.add_link("b", "c", latency_ms=1, secure=False)
+    assert not net.path("a", "c").secure
+    assert net.path("a", "b").secure
+
+
+def test_path_transfer_time_sums_hops():
+    net = triangle()
+    p = net.path("a", "c")
+    # Per hop: latency + bytes*8/bw; 10 kB: a-b 200+4ms, b-c 100+1.6ms
+    assert p.transfer_time_ms(10_000) == pytest.approx(200 + 4 + 100 + 1.6)
+
+
+def test_snapshot_is_independent():
+    net = triangle()
+    snap = net.snapshot()
+    snap.node("a").reserved_cpu = 500
+    snap.link("a", "b").reserved_mbps = 10
+    assert net.node("a").reserved_cpu == 0
+    assert net.link("a", "b").reserved_mbps == 0
+    assert snap.node("a").free_cpu == 500
+
+
+def test_free_capacity_accessors():
+    node = NodeInfo("n", cpu_capacity=1000, reserved_cpu=300)
+    assert node.free_cpu == 700
+    link = LinkInfo("a", "b", bandwidth_mbps=20, reserved_mbps=5)
+    assert link.free_mbps == 15
+
+
+def test_materialize_mirrors_graph():
+    from repro.sim import Simulator
+
+    net = triangle()
+    nodes, links = net.materialize(Simulator())
+    assert set(nodes) == {"a", "b", "c"}
+    assert len(links) == 3
+    assert nodes["a"].cpu_capacity == 1000
+    key = ("a", "b")
+    assert links[key].latency_ms == 200
+    assert links[key].secure is False
+
+
+def test_neighbors():
+    net = triangle()
+    assert set(net.neighbors("a")) == {"b", "c"}
+    with pytest.raises(NetworkError):
+        net.neighbors("zzz")
+
+
+def test_len_and_n_links():
+    net = triangle()
+    assert len(net) == 3
+    assert net.n_links == 3

@@ -1,0 +1,76 @@
+"""DP-chain planner internals and edge cases."""
+
+import pytest
+
+from repro.planner import (
+    DeploymentState,
+    DPStats,
+    ExpectedLatency,
+    PlanRequest,
+    plan_dp_chain,
+)
+from repro.planner.dp_chain import _chain_probs
+from repro.planner.exhaustive import _instantiate
+
+
+def test_chain_probs_first_occurrence_only(ctx):
+    probs = _chain_probs(ctx, ["MailClient", "ViewMailServer", "ViewMailServer", "MailServer"])
+    # MailClient rrf 1.0; first VMS applies 0.2; repeated VMS does not.
+    assert probs == pytest.approx([1.0, 0.2, 0.2, 0.2])
+
+
+def test_chain_probs_encryptor_transparent(ctx):
+    probs = _chain_probs(ctx, ["MailClient", "Encryptor", "Decryptor", "MailServer"])
+    assert probs == pytest.approx([1.0, 1.0, 1.0, 1.0])
+
+
+def test_stats_populated(ctx, state_with_ms):
+    stats = DPStats()
+    request = PlanRequest("ClientInterface", "sandiego-client1", context={"User": "Bob"})
+    plan = plan_dp_chain(ctx, request, state_with_ms, ExpectedLatency(), stats)
+    assert plan is not None
+    assert stats.chains_considered > 0
+    assert stats.states_evaluated > 0
+    assert stats.plans_scored > 0
+
+
+def test_reused_root_completes_immediately(ctx, state_with_ms):
+    request = PlanRequest("ClientInterface", "newyork-client1", context={"User": "Alice"})
+    first = plan_dp_chain(ctx, request, state_with_ms, ExpectedLatency())
+    state_with_ms.absorb(first)
+    again = plan_dp_chain(ctx, request, state_with_ms, ExpectedLatency())
+    assert [p.reused for p in again.placements] == [True]
+    assert again.linkages == []
+
+
+def test_max_repeat_bounds_view_chains(ctx, state_with_ms):
+    request = PlanRequest("ClientInterface", "sandiego-client1", context={"User": "Bob"})
+    plan = plan_dp_chain(
+        ctx, request, state_with_ms, ExpectedLatency(), max_repeat=1
+    )
+    assert plan is not None
+    units = [p.unit for p in plan.placements]
+    assert units.count("ViewMailServer") <= 1
+
+
+def test_load_violating_chain_discarded(ctx, state_with_ms):
+    # At a rate exceeding the VMS capacity, the cached chain is
+    # infeasible; the planner must fall back to a valid one or none.
+    request = PlanRequest(
+        "ClientInterface", "sandiego-client1",
+        context={"User": "Bob"}, request_rate=600.0,  # > VMS capacity 500
+    )
+    plan = plan_dp_chain(ctx, request, state_with_ms, ExpectedLatency())
+    if plan is not None:
+        from repro.planner import check_loads
+
+        assert check_loads(ctx, plan, 600.0).ok
+        assert "ViewMailServer" not in {p.unit for p in plan.placements}
+
+
+def test_root_on_client_false_allows_remote_roots(ctx, state_with_ms):
+    request = PlanRequest(
+        "ServerInterface", "sandiego-client1", root_on_client=False, max_units=3
+    )
+    plan = plan_dp_chain(ctx, request, state_with_ms, ExpectedLatency())
+    assert plan is not None

@@ -1,0 +1,76 @@
+"""Tests for linkage-graph enumeration (paper Figure 3)."""
+
+import pytest
+
+from repro.planner import enumerate_linkage_graphs, valid_chains
+
+
+def test_figure3_smallest_chains(mail_spec):
+    chains = valid_chains(mail_spec, "ClientInterface", max_units=4, max_repeat=1)
+    as_tuples = {tuple(c) for c in chains}
+    # The canonical chains of Figure 3:
+    assert ("MailClient", "MailServer") in as_tuples
+    assert ("ViewMailClient", "MailServer") in as_tuples
+    assert ("MailClient", "ViewMailServer", "MailServer") in as_tuples
+    assert ("MailClient", "Encryptor", "Decryptor", "MailServer") in as_tuples
+    assert ("ViewMailClient", "ViewMailServer", "MailServer") in as_tuples
+
+
+def test_every_chain_starts_at_a_client_and_ends_at_the_server(mail_spec):
+    for chain in valid_chains(mail_spec, "ClientInterface", max_units=6, max_repeat=2):
+        assert chain[0] in ("MailClient", "ViewMailClient")
+        assert chain[-1] == "MailServer"
+
+
+def test_encryptor_always_followed_by_decryptor(mail_spec):
+    for chain in valid_chains(mail_spec, "ClientInterface", max_units=6, max_repeat=2):
+        for i, unit in enumerate(chain):
+            if unit == "Encryptor":
+                assert chain[i + 1] == "Decryptor"
+
+
+def test_graphs_respect_max_units(mail_spec):
+    for g in enumerate_linkage_graphs(mail_spec, "ClientInterface", max_units=4):
+        assert len(g.units) <= 4
+
+
+def test_graphs_respect_max_repeat(mail_spec):
+    for g in enumerate_linkage_graphs(mail_spec, "ClientInterface", max_units=8, max_repeat=1):
+        assert all(g.units.count(u) == 1 for u in g.units)
+
+
+def test_enumeration_is_deterministic(mail_spec):
+    a = enumerate_linkage_graphs(mail_spec, "ClientInterface", max_units=5)
+    b = enumerate_linkage_graphs(mail_spec, "ClientInterface", max_units=5)
+    assert a == b
+
+
+def test_enumeration_sorted_smallest_first(mail_spec):
+    graphs = enumerate_linkage_graphs(mail_spec, "ClientInterface", max_units=6)
+    sizes = [len(g.units) for g in graphs]
+    assert sizes == sorted(sizes)
+
+
+def test_mail_graphs_are_all_chains(mail_spec):
+    # Every unit in the mail service has at most one required interface.
+    for g in enumerate_linkage_graphs(mail_spec, "ClientInterface", max_units=6):
+        assert g.is_chain
+
+
+def test_chain_units_roundtrip(mail_spec):
+    for g in enumerate_linkage_graphs(mail_spec, "ClientInterface", max_units=5):
+        units = g.chain_units()
+        assert units[0] == g.units[0]
+        assert len(units) == len(g.units)
+
+
+def test_unknown_interface_yields_nothing(mail_spec):
+    assert enumerate_linkage_graphs(mail_spec, "NoSuchInterface") == []
+
+
+def test_server_interface_request(mail_spec):
+    # Asking directly for ServerInterface must also work (e.g. an
+    # administrative client attaching to the server side).
+    chains = valid_chains(mail_spec, "ServerInterface", max_units=3, max_repeat=1)
+    assert ["MailServer"] in chains
+    assert ["ViewMailServer", "MailServer"] in chains

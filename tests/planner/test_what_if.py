@@ -1,0 +1,61 @@
+"""What-if planning over network snapshots."""
+
+import pytest
+
+from repro.experiments.topology_fig5 import build_fig5_network
+from repro.planner import Planner, PlanRequest
+from repro.services.mail import build_mail_spec, mail_translator
+
+
+@pytest.fixture()
+def planner():
+    topo = build_fig5_network(clients_per_site=2)
+    p = Planner(build_mail_spec(), topo.network, mail_translator(), algorithm="exhaustive")
+    p.preinstall("MailServer", topo.server_node)
+    return p
+
+
+def test_what_if_vpn_retires_crypto_pair(planner):
+    request = PlanRequest("ClientInterface", "sandiego-client1", context={"User": "Bob"})
+    live = planner.plan(request)
+    assert "Encryptor" in {p.unit for p in live.placements}
+
+    hypo = planner.what_if(
+        request,
+        lambda net: setattr(net.link("newyork-gw", "sandiego-gw"), "secure", True),
+    )
+    assert hypo is not None
+    assert "Encryptor" not in {p.unit for p in hypo.placements}
+
+
+def test_what_if_does_not_mutate_live_network(planner):
+    request = PlanRequest("ClientInterface", "sandiego-client1", context={"User": "Bob"})
+    planner.what_if(
+        request,
+        lambda net: setattr(net.link("newyork-gw", "sandiego-gw"), "secure", True),
+    )
+    # Live network unchanged; live planning still needs the crypto pair.
+    assert planner.network.link("newyork-gw", "sandiego-gw").secure is False
+    live = planner.plan(request)
+    assert "Encryptor" in {p.unit for p in live.placements}
+
+
+def test_what_if_node_loss_returns_none_or_reroutes(planner):
+    request = PlanRequest("ClientInterface", "sandiego-client1", context={"User": "Bob"})
+
+    def cut_everything(net):
+        net.remove_link("newyork-gw", "sandiego-gw")
+        net.remove_link("sandiego-gw", "seattle-gw")
+
+    hypo = planner.what_if(request, cut_everything)
+    assert hypo is None  # the cache cannot reach any trusted upstream
+
+
+def test_what_if_uses_deployment_state(planner):
+    # Commit the SD deployment; a what-if for Seattle can reuse it.
+    sd = PlanRequest("ClientInterface", "sandiego-client1", context={"User": "Bob"})
+    planner.plan_and_commit(sd)
+    sea = PlanRequest("ClientInterface", "seattle-client1", context={"User": "Carol"})
+    hypo = planner.what_if(sea, lambda net: None)
+    assert hypo is not None
+    assert any(p.reused and p.unit == "ViewMailServer" for p in hypo.placements)

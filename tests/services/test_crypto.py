@@ -1,0 +1,78 @@
+"""Tests for the toy XTEA crypto and keyrings."""
+
+import pytest
+
+from repro.services.mail import (
+    CIPHER_OVERHEAD_BYTES,
+    CryptoError,
+    KeyRing,
+    decrypt,
+    derive_key,
+    encrypt,
+)
+
+
+def test_roundtrip():
+    key = derive_key("k")
+    for plaintext in (b"", b"x", b"hello world", b"a" * 1000, bytes(range(256))):
+        assert decrypt(key, encrypt(key, plaintext)) == plaintext
+
+
+def test_ciphertext_differs_from_plaintext():
+    key = derive_key("k")
+    pt = b"secret message!!"
+    ct = encrypt(key, pt)
+    assert pt not in ct
+
+
+def test_overhead_constant():
+    key = derive_key("k")
+    ct = encrypt(key, b"12345678")
+    assert len(ct) == 8 + CIPHER_OVERHEAD_BYTES
+
+
+def test_wrong_key_rejected():
+    ct = encrypt(derive_key("a"), b"payload")
+    with pytest.raises(CryptoError, match="key mismatch"):
+        decrypt(derive_key("b"), ct)
+
+
+def test_truncated_ciphertext_rejected():
+    key = derive_key("k")
+    ct = encrypt(key, b"payload!")
+    with pytest.raises(CryptoError):
+        decrypt(key, ct[:8])
+    with pytest.raises(CryptoError):
+        decrypt(key, ct[:-3])  # broken block alignment
+
+
+def test_key_derivation_deterministic_and_distinct():
+    assert derive_key("alice", "1") == derive_key("alice", "1")
+    assert derive_key("alice", "1") != derive_key("alice", "2")
+    assert derive_key("alice", "1") != derive_key("bob", "1")
+    # separator prevents ambiguity between ("ab","c") and ("a","bc")
+    assert derive_key("ab", "c") != derive_key("a", "bc")
+
+
+def test_keyring_levels():
+    ring = KeyRing("alice")
+    assert ring.levels() == (1, 2, 3, 4, 5)
+    assert 3 in ring
+    assert ring.key_for(2) == derive_key("mail-key", "alice", "2")
+    with pytest.raises(CryptoError):
+        ring.key_for(9)
+
+
+def test_keyring_subset_enforces_trust_bound():
+    ring = KeyRing("alice").subset(3)
+    assert ring.levels() == (1, 2, 3)
+    assert 4 not in ring
+    with pytest.raises(CryptoError):
+        ring.key_for(4)
+
+
+def test_cross_level_decryption_fails():
+    ring = KeyRing("alice")
+    ct = encrypt(ring.key_for(4), b"topsecret")
+    with pytest.raises(CryptoError):
+        decrypt(ring.key_for(3), ct)

@@ -1,0 +1,271 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.process(iter_timeout(sim, 5.0, fired))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def iter_timeout(sim, delay, log):
+    yield sim.timeout(delay)
+    log.append(sim.now)
+
+
+def test_equal_time_events_run_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in "abc":
+        sim.process(proc(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+        return 42
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.triggered and p.value == 42
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield sim.timeout(3)
+        return "done"
+
+    def parent():
+        result = yield sim.process(child())
+        log.append((sim.now, result))
+
+    sim.process(parent())
+    sim.run()
+    assert log == [(3.0, "done")]
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    def parent():
+        yield sim.process(child())
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.failed
+    assert isinstance(p.value, ValueError)
+
+
+def test_run_until_complete_raises_process_failure():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("nope")
+
+    p = sim.process(bad())
+    with pytest.raises(RuntimeError, match="nope"):
+        sim.run_until_complete(p)
+
+
+def test_run_until_limit():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        for _ in range(10):
+            yield sim.timeout(10)
+            log.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=35)
+    assert log == [10.0, 20.0, 30.0]
+    assert sim.now == 35.0
+
+
+def test_run_until_is_exclusive():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(10)
+        log.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=10)
+    assert log == []  # the event stamped exactly at `until` does not run
+    sim.run()
+    assert log == [10.0]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_manual_event_delivers_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append((sim.now, value))
+
+    def trigger():
+        yield sim.timeout(7)
+        ev.succeed("hello")
+
+    sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert got == [(7.0, "hello")]
+
+
+def test_any_of_triggers_on_first():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        result = yield sim.any_of([sim.timeout(5, "fast"), sim.timeout(9, "slow")])
+        got.append((sim.now, result))
+
+    sim.process(waiter())
+    sim.run()
+    assert got[0][0] == 5.0
+    assert "fast" in got[0][1]
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        result = yield sim.all_of([sim.timeout(5, "a"), sim.timeout(9, "b")])
+        got.append((sim.now, sorted(result)))
+
+    sim.process(waiter())
+    sim.run()
+    assert got == [(9.0, ["a", "b"])]
+
+
+def test_interrupt_kills_sleeping_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+            log.append("finished")
+        except Interrupt as exc:
+            log.append(("interrupted", sim.now, exc.cause))
+
+    def killer(p):
+        yield sim.timeout(10)
+        p.interrupt("reason")
+
+    p = sim.process(sleeper())
+    sim.process(killer(p))
+    sim.run()
+    assert log == [("interrupted", 10.0, "reason")]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    p = sim.process(quick())
+    sim.run()
+    p.interrupt()  # must not raise
+    sim.run()
+
+
+def test_call_at_and_after():
+    sim = Simulator()
+    log = []
+    sim.call_at(5.0, lambda: log.append(("at", sim.now)))
+    sim.call_after(2.0, lambda: log.append(("after", sim.now)))
+    sim.run()
+    assert log == [("after", 2.0), ("at", 5.0)]
+
+
+def test_call_at_past_rejected():
+    sim = Simulator()
+    sim.call_at(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    assert sim.peek() == 4.0
+
+
+def test_yielding_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    p = sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_deadlock_detection_in_run_until_complete():
+    sim = Simulator()
+
+    def stuck():
+        yield sim.event()  # never triggered
+
+    p = sim.process(stuck())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(p)

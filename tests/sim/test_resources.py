@@ -1,0 +1,173 @@
+"""Tests for Resource, Store, and Monitor."""
+
+import pytest
+
+from repro.sim import Monitor, Resource, Simulator, Store
+
+
+def test_resource_serializes_fifo():
+    sim = Simulator()
+    r = Resource(sim, capacity=1)
+    order = []
+
+    def worker(i):
+        yield from r.use(10)
+        order.append((sim.now, i))
+
+    for i in range(3):
+        sim.process(worker(i))
+    sim.run()
+    assert order == [(10.0, 0), (20.0, 1), (30.0, 2)]
+
+
+def test_resource_capacity_two_runs_pairs():
+    sim = Simulator()
+    r = Resource(sim, capacity=2)
+    order = []
+
+    def worker(i):
+        yield from r.use(10)
+        order.append((sim.now, i))
+
+    for i in range(4):
+        sim.process(worker(i))
+    sim.run()
+    assert [t for t, _ in order] == [10.0, 10.0, 20.0, 20.0]
+
+
+def test_resource_release_without_request():
+    sim = Simulator()
+    r = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        r.release()
+
+
+def test_resource_bad_capacity():
+    with pytest.raises(ValueError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_resource_queue_length_and_in_use():
+    sim = Simulator()
+    r = Resource(sim, capacity=1)
+
+    def holder():
+        yield from r.use(50)
+
+    def waiter():
+        yield from r.use(1)
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run(until=10)
+    assert r.in_use == 1
+    assert r.queue_length == 1
+    sim.run()
+    assert r.in_use == 0
+
+
+def test_resource_utilization():
+    sim = Simulator()
+    r = Resource(sim, capacity=1)
+
+    def worker():
+        yield from r.use(50)
+
+    sim.process(worker())
+    sim.run(until=100)
+    assert r.utilization() == pytest.approx(0.5)
+
+
+def test_release_hands_slot_to_waiter_exactly_once():
+    sim = Simulator()
+    r = Resource(sim, capacity=1)
+    concurrent = []
+
+    def worker(i):
+        yield r.request()
+        concurrent.append(r.in_use)
+        try:
+            yield sim.timeout(5)
+        finally:
+            r.release()
+
+    for i in range(3):
+        sim.process(worker(i))
+    sim.run()
+    assert all(c == 1 for c in concurrent)
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    s = Store(sim)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield s.get()
+            got.append(item)
+
+    def producer():
+        for i in range(3):
+            yield sim.timeout(1)
+            s.put(i)
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_before_put_blocks():
+    sim = Simulator()
+    s = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield s.get()
+        got.append((sim.now, item))
+
+    sim.process(consumer())
+    sim.run()
+    assert got == []  # still blocked
+    s.put("x")
+    sim.run()
+    assert got == [(0.0, "x")]
+
+
+def test_store_try_get():
+    sim = Simulator()
+    s = Store(sim)
+    assert s.try_get() is None
+    s.put(1)
+    assert len(s) == 1
+    assert s.try_get() == 1
+    assert s.try_get() is None
+
+
+def test_monitor_stats():
+    m = Monitor("test")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        m.observe(v)
+    assert m.count == 4
+    assert m.mean == pytest.approx(2.5)
+    assert m.minimum == 1.0
+    assert m.maximum == 4.0
+    assert m.total == 10.0
+    assert m.percentile(0) == 1.0
+    assert m.percentile(100) == 4.0
+    assert m.percentile(50) in (2.0, 3.0)
+
+
+def test_monitor_empty():
+    m = Monitor()
+    assert m.count == 0
+    assert m.mean == 0.0
+    assert m.percentile(50) == 0.0
+
+
+def test_monitor_percentile_bounds():
+    m = Monitor()
+    m.observe(1.0)
+    with pytest.raises(ValueError):
+        m.percentile(101)

@@ -1,0 +1,136 @@
+"""Tests for SimLink and SimNode."""
+
+import pytest
+
+from repro.sim import SimLink, SimNode, Simulator, transfer_time_ms
+
+
+def test_transfer_time_formula():
+    # 10 kB over 8 Mb/s: 80000 bits / 8e6 bps = 10 ms + 400 latency
+    assert transfer_time_ms(10_000, 8.0, 400.0) == pytest.approx(410.0)
+    assert transfer_time_ms(0, 8.0, 400.0) == pytest.approx(400.0)
+    # non-positive bandwidth = pure latency
+    assert transfer_time_ms(10_000, 0.0, 5.0) == pytest.approx(5.0)
+
+
+def test_transfer_time_negative_size():
+    with pytest.raises(ValueError):
+        transfer_time_ms(-1, 8.0, 1.0)
+
+
+def test_link_transfer_latency_plus_serialization():
+    sim = Simulator()
+    link = SimLink(sim, "a", "b", latency_ms=400, bandwidth_mbps=8, secure=False)
+    done = []
+
+    def sender():
+        yield from link.transfer("a", 10_000)
+        done.append(sim.now)
+
+    sim.process(sender())
+    sim.run()
+    assert done == [pytest.approx(410.0)]
+    assert link.bytes_carried == 10_000
+
+
+def test_link_serialization_queues_same_direction():
+    sim = Simulator()
+    link = SimLink(sim, "a", "b", latency_ms=100, bandwidth_mbps=8)
+    done = []
+
+    def sender(tag):
+        yield from link.transfer("a", 10_000)  # 10 ms serialization each
+        done.append((sim.now, tag))
+
+    sim.process(sender("x"))
+    sim.process(sender("y"))
+    sim.run()
+    # Second transfer waits for the first's serialization, then both
+    # propagate: 10+100 and 20+100.
+    assert done == [(pytest.approx(110.0), "x"), (pytest.approx(120.0), "y")]
+
+
+def test_link_full_duplex_directions_independent():
+    sim = Simulator()
+    link = SimLink(sim, "a", "b", latency_ms=100, bandwidth_mbps=8)
+    done = []
+
+    def sender(src, tag):
+        yield from link.transfer(src, 10_000)
+        done.append((sim.now, tag))
+
+    sim.process(sender("a", "fwd"))
+    sim.process(sender("b", "rev"))
+    sim.run()
+    assert [t for t, _ in done] == [pytest.approx(110.0), pytest.approx(110.0)]
+
+
+def test_link_other_end():
+    link = SimLink(Simulator(), "a", "b", 1, 1)
+    assert link.other_end("a") == "b"
+    assert link.other_end("b") == "a"
+    with pytest.raises(ValueError):
+        link.other_end("c")
+
+
+def test_link_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        SimLink(Simulator(), "a", "b", latency_ms=-1, bandwidth_mbps=1)
+
+
+def test_infinite_bandwidth_is_pure_latency():
+    sim = Simulator()
+    link = SimLink(sim, "a", "b", latency_ms=5, bandwidth_mbps=0)
+    done = []
+
+    def sender():
+        yield from link.transfer("a", 10**9)
+        done.append(sim.now)
+
+    sim.process(sender())
+    sim.run()
+    assert done == [pytest.approx(5.0)]
+
+
+def test_node_service_time():
+    sim = Simulator()
+    node = SimNode(sim, "n", cpu_capacity=1000)
+    assert node.service_time_ms(5) == pytest.approx(5.0)
+    assert node.service_time_ms(0) == 0.0
+    with pytest.raises(ValueError):
+        node.service_time_ms(-1)
+
+
+def test_node_execute_serializes_jobs():
+    sim = Simulator()
+    node = SimNode(sim, "n", cpu_capacity=1000)
+    done = []
+
+    def job(tag):
+        yield from node.execute(10)  # 10 ms each
+        done.append((sim.now, tag))
+
+    sim.process(job("a"))
+    sim.process(job("b"))
+    sim.run()
+    assert done == [(pytest.approx(10.0), "a"), (pytest.approx(20.0), "b")]
+
+
+def test_node_multicore_parallelism():
+    sim = Simulator()
+    node = SimNode(sim, "n", cpu_capacity=1000, cores=2)
+    done = []
+
+    def job(tag):
+        yield from node.execute(10)
+        done.append((sim.now, tag))
+
+    for t in "ab":
+        sim.process(job(t))
+    sim.run()
+    assert [t for t, _ in done] == [pytest.approx(10.0), pytest.approx(10.0)]
+
+
+def test_node_bad_capacity():
+    with pytest.raises(ValueError):
+        SimNode(Simulator(), "n", cpu_capacity=0)

@@ -1,0 +1,15 @@
+"""Shared fixtures for Smock runtime tests."""
+
+import pytest
+
+from repro.experiments.mail_setup import build_mail_testbed
+
+
+@pytest.fixture()
+def testbed():
+    return build_mail_testbed(clients_per_site=2, flush_policy="count:500")
+
+
+@pytest.fixture()
+def runtime(testbed):
+    return testbed.runtime

@@ -1,0 +1,71 @@
+"""Deployment executor error handling."""
+
+import pytest
+
+from repro.planner import DeploymentPlan, Placement, PlannedLinkage
+from repro.smock import DeploymentError
+
+
+def test_reused_placement_without_instance_rejected(runtime):
+    plan = DeploymentPlan(
+        placements=[Placement(unit="MailClient", node="newyork-client1"),
+                    Placement(unit="ViewMailServer", node="sandiego-gw",
+                              factor_values=(("TrustLevel", 3),), reused=True)],
+        linkages=[PlannedLinkage(0, 1, "ServerInterface")],
+        root=0,
+        client_node="newyork-client1",
+    )
+    with pytest.raises(DeploymentError, match="reuses"):
+        runtime.deploy_manual(plan)
+
+
+def test_cyclic_plan_rejected(runtime):
+    plan = DeploymentPlan(
+        placements=[
+            Placement(unit="Encryptor", node="newyork-client1"),
+            Placement(unit="Decryptor", node="newyork-client1"),
+        ],
+        linkages=[
+            PlannedLinkage(0, 1, "DecryptorInterface"),
+            PlannedLinkage(1, 0, "ServerInterface"),
+        ],
+        root=0,
+        client_node="newyork-client1",
+    )
+    with pytest.raises(DeploymentError, match="cyclic"):
+        runtime.deploy_manual(plan)
+
+
+def test_missing_component_class_rejected(runtime):
+    runtime.component_classes.pop("Encryptor")
+    plan = DeploymentPlan(
+        placements=[Placement(unit="Encryptor", node="newyork-client1")],
+        linkages=[],
+        root=0,
+        client_node="newyork-client1",
+    )
+    with pytest.raises(DeploymentError, match="no runtime class"):
+        runtime.deploy_manual(plan)
+
+
+def test_unknown_service_bundle_rejected(runtime):
+    with pytest.raises(DeploymentError, match="no service registered"):
+        runtime.bundle_for("ghost")
+
+
+def test_register_component_validates_unit(runtime):
+    from repro.smock import RuntimeComponent
+    from repro.spec import SpecError
+
+    class X(RuntimeComponent):
+        pass
+
+    with pytest.raises(SpecError):
+        runtime.register_component("NotAUnit", X)
+
+
+def test_register_service_validates_interface(runtime):
+    from repro.spec import SpecError
+
+    with pytest.raises(SpecError):
+        runtime.register_service("again", default_interface="Bogus")

@@ -1,0 +1,84 @@
+"""Fault injection: component failures must be contained, not fatal."""
+
+import pytest
+
+from repro.network import FunctionTranslator, Network
+from repro.smock import RuntimeComponent, ServiceRequest, ServiceResponse, SmockRuntime
+from repro.spec import Behaviors, ComponentDef, InterfaceBinding, InterfaceDef, ServiceSpec
+
+
+def build_world(front_cls, back_cls):
+    spec = ServiceSpec("svc")
+    spec.add_interface(InterfaceDef("Front"))
+    spec.add_interface(InterfaceDef("Back"))
+    spec.add_component(
+        ComponentDef(
+            "FrontUnit",
+            implements=(InterfaceBinding("Front"),),
+            requires=(InterfaceBinding("Back"),),
+        )
+    )
+    spec.add_component(
+        ComponentDef("BackUnit", implements=(InterfaceBinding("Back"),))
+    )
+    spec.validate()
+    net = Network()
+    net.add_node("a")
+    net.add_node("b")
+    net.add_link("a", "b", latency_ms=5)
+    rt = SmockRuntime(spec, net, FunctionTranslator(), lookup_node="b", server_node="b")
+    rt.register_component("FrontUnit", front_cls)
+    rt.register_component("BackUnit", back_cls)
+    rt.register_service("svc", default_interface="Front")
+    rt.preinstall("BackUnit", "b")
+    proxy = rt.run(rt.client_connect("a"))
+    return rt, proxy
+
+
+class Forwarder(RuntimeComponent):
+    def op_work(self, req):
+        resp = yield from self.call("Back", req)
+        return resp
+
+
+class Crasher(RuntimeComponent):
+    def op_work(self, req):
+        raise RuntimeError("disk on fire")
+        yield  # generator marker
+
+
+class Healthy(RuntimeComponent):
+    def op_work(self, req):
+        return ServiceResponse(payload={"done": True})
+        yield
+
+
+def test_backend_crash_becomes_failure_response():
+    rt, proxy = build_world(Forwarder, Crasher)
+    resp = rt.run(proxy.request("work", {}))
+    assert not resp.ok
+    assert "disk on fire" in resp.error
+    assert "BackUnit" in resp.error
+
+
+def test_frontend_crash_becomes_failure_response():
+    rt, proxy = build_world(Crasher, Healthy)
+    resp = rt.run(proxy.request("work", {}))
+    assert not resp.ok
+    assert "FrontUnit" in resp.error
+
+
+def test_healthy_chain_still_succeeds():
+    rt, proxy = build_world(Forwarder, Healthy)
+    resp = rt.run(proxy.request("work", {}))
+    assert resp.ok and resp.payload["done"]
+
+
+def test_service_survives_after_a_fault():
+    rt, proxy = build_world(Forwarder, Crasher)
+    first = rt.run(proxy.request("work", {}))
+    assert not first.ok
+    # The simulator, components and proxy all remain usable.
+    second = rt.run(proxy.request("work", {}))
+    assert not second.ok
+    assert rt.instance_of("FrontUnit").requests_served == 2

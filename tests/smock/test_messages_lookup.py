@@ -1,0 +1,60 @@
+"""Unit tests for messages, lookup matching, and proxy bookkeeping."""
+
+import pytest
+
+from repro.smock import ServiceRequest, ServiceResponse
+from repro.smock.lookup import ServiceRegistration
+
+
+def test_request_ids_unique_and_monotonic():
+    a, b = ServiceRequest(op="x"), ServiceRequest(op="y")
+    assert b.request_id > a.request_id
+
+
+def test_request_child_shares_identity_and_trace():
+    parent = ServiceRequest(op="send", user="Alice")
+    parent.trace.append("A@node")
+    child = parent.child("store", {"k": 1}, 128)
+    assert child.user == "Alice"
+    assert child.trace is parent.trace  # one trace per end-to-end request
+    assert child.op == "store" and child.size_bytes == 128
+    assert child.request_id != parent.request_id
+
+
+def test_response_failure_constructor():
+    resp = ServiceResponse.failure("broken", size_bytes=64)
+    assert not resp.ok
+    assert resp.error == "broken"
+    assert resp.size_bytes == 64
+    assert resp.payload == {}
+
+
+def test_registration_attribute_matching():
+    reg = ServiceRegistration("svc", {"type": "mail", "tier": "gold"})
+    assert reg.matches({})
+    assert reg.matches({"type": "mail"})
+    assert reg.matches({"type": "mail", "tier": "gold"})
+    assert not reg.matches({"type": "video"})
+    assert not reg.matches({"missing": 1})
+
+
+def test_lookup_find_by_attributes(runtime):
+    runtime.lookup.register("other", {"kind": "test"})
+    assert [r.name for r in runtime.lookup.find({"kind": "test"})] == ["other"]
+    assert len(runtime.lookup.find({})) == 2
+
+
+def test_proxy_latency_monitor_accumulates(runtime):
+    proxy = runtime.run(runtime.client_connect("newyork-client1", {"User": "Alice"}))
+    for _ in range(3):
+        runtime.run(proxy.request("fetch_mail", {"user": "Alice"}))
+    assert proxy.latency.count == 3
+    assert proxy.latency.mean > 0
+
+
+def test_bind_record_total_is_sum_of_phases(runtime):
+    runtime.run(runtime.client_connect("sandiego-client1", {"User": "Bob"}))
+    rec = runtime.bind_records[-1]
+    assert rec.total_ms == pytest.approx(
+        rec.lookup_ms + rec.access_round_trip_ms + rec.planning_ms + rec.deployment_ms
+    )

@@ -1,0 +1,117 @@
+"""Unit tests for component/view declarations and env-ref resolution."""
+
+import pytest
+
+from repro.spec import (
+    ANY,
+    Behaviors,
+    ComponentDef,
+    Condition,
+    EnvRef,
+    InterfaceBinding,
+    SpecError,
+    ValueRange,
+    ViewDef,
+    resolve_env_refs,
+)
+
+
+def test_resolve_env_refs_substitutes_and_defaults_none():
+    props = {"A": EnvRef("Node", "Trust"), "B": 7, "C": EnvRef("Node", "Missing")}
+    out = resolve_env_refs(props, {"Trust": 3})
+    assert out == {"A": 3, "B": 7, "C": None}
+
+
+def test_interface_binding_freezes_properties():
+    b = InterfaceBinding("I", {"X": 1})
+    assert b.properties == {"X": 1}
+    with pytest.raises(SpecError):
+        InterfaceBinding("", {})
+
+
+def test_condition_evaluation_forms():
+    assert Condition("User", "Alice").evaluate({"User": "Alice"})
+    assert not Condition("User", "Alice").evaluate({"User": "Bob"})
+    assert Condition("T", ValueRange(1, 3)).evaluate({"T": 2})
+    assert not Condition("T", ValueRange(1, 3)).evaluate({})
+    assert Condition("Anything", ANY).evaluate({})
+
+
+def test_behaviors_validation():
+    with pytest.raises(SpecError):
+        Behaviors(capacity=0)
+    with pytest.raises(SpecError):
+        Behaviors(cpu_per_request=-1)
+    with pytest.raises(SpecError):
+        Behaviors(rrf=-0.1)
+    with pytest.raises(SpecError):
+        Behaviors(bytes_per_request=-1)
+    with pytest.raises(SpecError):
+        Behaviors(code_size_bytes=-1)
+    b = Behaviors()  # defaults valid
+    assert b.rrf == 1.0 and b.capacity == float("inf")
+
+
+def test_component_queries():
+    c = ComponentDef(
+        "C",
+        implements=(InterfaceBinding("I", {"X": 1}),),
+        requires=(InterfaceBinding("J"),),
+        conditions=(Condition("User", "Alice"),),
+    )
+    assert c.implements_interface("I").properties == {"X": 1}
+    assert c.implements_interface("K") is None
+    assert c.required_interfaces() == ["J"]
+    assert not c.is_terminal
+    assert not c.is_view
+    assert c.installable_in({"User": "Alice"})
+    assert c.failing_conditions({"User": "Eve"}) == list(c.conditions)
+
+
+def test_terminal_component():
+    c = ComponentDef("S", implements=(InterfaceBinding("I"),))
+    assert c.is_terminal
+
+
+def test_component_name_required():
+    with pytest.raises(SpecError):
+        ComponentDef("")
+
+
+def test_view_configure_and_identity():
+    v = ViewDef(
+        "V",
+        represents="C",
+        kind="data",
+        factors={"Trust": EnvRef("Node", "Trust")},
+        implements=(InterfaceBinding("I", {"Trust": EnvRef("Node", "Trust")}),),
+    )
+    cfg2 = v.configure({"Trust": 2})
+    cfg3 = v.configure({"Trust": 3})
+    assert cfg2.identity != cfg3.identity
+    assert cfg2.factor_values == {"Trust": 2}
+    # Unresolvable factor binds to None.
+    cfg_none = v.configure({})
+    assert cfg_none.factor_values == {"Trust": None}
+
+
+def test_view_resolved_implements_prefers_factor_values():
+    v = ViewDef(
+        "V",
+        represents="C",
+        factors={"Trust": EnvRef("Node", "Trust")},
+        implements=(InterfaceBinding("I", {"Trust": EnvRef("Node", "Trust")}),),
+    )
+    cfg = v.configure({"Trust": 2})
+    # Even if the surrounding env claims Trust 5, the bound factor wins.
+    impl = cfg.resolved_implements({"Trust": 5})
+    assert impl["I"]["Trust"] == 2
+
+
+def test_view_is_view_and_kind_checks():
+    v = ViewDef("V", represents="C", kind="object")
+    assert v.is_view
+    with pytest.raises(SpecError):
+        ViewDef("V2", represents="")
+    with pytest.raises(SpecError):
+        ViewDef("V3", represents="C", kind="holographic")

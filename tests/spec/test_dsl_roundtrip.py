@@ -1,0 +1,54 @@
+"""Round-trip tests for the readable-form serializer (to_text)."""
+
+import pytest
+
+from repro.services.mail import build_mail_spec
+from repro.spec import ANY, ModificationRule, PropertyModificationRule, SpecError, parse_service
+from repro.spec.dsl import to_text
+
+
+def test_mail_spec_roundtrips_through_text():
+    spec = build_mail_spec()
+    text = to_text(spec)
+    spec2 = parse_service(text)
+    assert spec2.name == spec.name
+    assert sorted(spec2.properties) == sorted(spec.properties)
+    assert sorted(u.name for u in spec2.units()) == sorted(u.name for u in spec.units())
+    for unit in spec.units():
+        u2 = spec2.unit(unit.name)
+        assert [dict(b.properties) for b in u2.implements] == [
+            dict(b.properties) for b in unit.implements
+        ]
+        assert [dict(b.properties) for b in u2.requires] == [
+            dict(b.properties) for b in unit.requires
+        ]
+        assert u2.behaviors == unit.behaviors
+        assert list(u2.conditions) == list(unit.conditions)
+    # Fixpoint: serialize-parse-serialize is stable.
+    assert to_text(spec2) == text
+
+
+def test_match_modes_survive_text_roundtrip():
+    spec2 = parse_service(to_text(build_mail_spec()))
+    assert spec2.property_def("TrustLevel").match_mode == "at_least"
+
+
+def test_rules_survive_text_roundtrip():
+    spec2 = parse_service(to_text(build_mail_spec()))
+    assert spec2.rules.apply("Confidentiality", True, False) is False
+    assert spec2.rules.apply("Confidentiality", True, True) is True
+
+
+def test_computed_rule_not_serializable():
+    from repro.services.video import build_video_spec
+
+    with pytest.raises(SpecError, match="computed output"):
+        to_text(build_video_spec())
+
+
+def test_views_keep_represents_kind_factors():
+    spec2 = parse_service(to_text(build_mail_spec()))
+    vms = spec2.unit("ViewMailServer")
+    assert vms.represents == "MailServer"
+    assert vms.kind == "data"
+    assert str(vms.factors["TrustLevel"]) == "Node.TrustLevel"

@@ -1,0 +1,68 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.services.mail.spec import MAIL_SPEC_TEXT
+from repro.spec import to_xml
+from repro.services.mail import build_mail_spec
+
+
+def test_fig5(capsys):
+    assert main(["fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "newyork-gw" in out and "INSECURE" in out
+
+
+def test_fig6(capsys):
+    assert main(["fig6", "--algorithm", "dp_chain"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("matches the paper") == 3
+
+
+def test_chains(capsys):
+    assert main(["chains", "--max-units", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "MailClient -> MailServer" in out
+    assert "valid chains" in out
+
+
+def test_costs(capsys):
+    assert main(["costs"]) == 0
+    out = capsys.readouterr().out
+    assert "planning" in out and "sum" in out
+
+
+def test_fig7_subset(capsys):
+    assert main(["fig7", "--max-clients", "1", "--scenarios", "DF", "SS"]) == 0
+    out = capsys.readouterr().out
+    assert "DF" in out and "SS" in out
+
+
+def test_plan(capsys):
+    assert main(["plan", "--site", "newyork", "--user", "Alice",
+                 "--algorithm", "dp_chain"]) == 0
+    out = capsys.readouterr().out
+    assert "MailClient@newyork-client1" in out
+
+
+def test_validate_readable_form(tmp_path, capsys):
+    path = tmp_path / "mail.spec"
+    path.write_text(MAIL_SPEC_TEXT)
+    assert main(["validate", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "OK:" in out and "ViewMailServer" in out
+
+
+def test_validate_xml_form(tmp_path, capsys):
+    path = tmp_path / "mail.xml"
+    path.write_text(to_xml(build_mail_spec()))
+    assert main(["validate", str(path)]) == 0
+    assert "OK:" in capsys.readouterr().out
+
+
+def test_validate_rejects_garbage(tmp_path, capsys):
+    path = tmp_path / "bad.spec"
+    path.write_text("<Component>\nName: X\n")
+    assert main(["validate", str(path)]) == 1
+    assert "INVALID" in capsys.readouterr().err

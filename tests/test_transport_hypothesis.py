@@ -1,0 +1,82 @@
+"""Property-based tests on the runtime transport: conservation and
+ordering over random topologies and message mixes."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.network import BriteConfig, generate_waxman
+from repro.sim import SimLink, Simulator
+from repro.smock.transport import RuntimeTransport
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(0, 1000),
+    st.lists(st.integers(1, 50_000), min_size=1, max_size=20),
+)
+def test_bytes_conserved_over_random_topology(seed, sizes):
+    net = generate_waxman(BriteConfig(n_nodes=10, seed=seed))
+    sim = Simulator()
+    transport = RuntimeTransport(sim, net)
+    names = net.node_names()
+    delivered = []
+
+    def sender(size, i):
+        src = names[i % len(names)]
+        dst = names[(i * 7 + 3) % len(names)]
+        yield from transport.deliver(src, dst, size)
+        delivered.append(size)
+
+    for i, size in enumerate(sizes):
+        sim.process(sender(size, i))
+    sim.run()
+    same_node = sum(
+        1 for i in range(len(sizes))
+        if names[i % len(names)] == names[(i * 7 + 3) % len(names)]
+    )
+    assert len(delivered) == len(sizes)
+    assert transport.messages_sent == len(sizes) - same_node
+    assert transport.bytes_sent == sum(
+        s for i, s in enumerate(sizes)
+        if names[i % len(names)] != names[(i * 7 + 3) % len(names)]
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(100, 20_000), min_size=2, max_size=15))
+def test_fifo_per_link_direction(sizes):
+    """Messages sent in order on one link direction arrive in order."""
+    sim = Simulator()
+    link = SimLink(sim, "a", "b", latency_ms=5.0, bandwidth_mbps=10.0)
+    arrivals = []
+
+    def sender(idx, size):
+        yield from link.transfer("a", size)
+        arrivals.append(idx)
+
+    for idx, size in enumerate(sizes):
+        sim.process(sender(idx, size))
+    sim.run()
+    assert arrivals == list(range(len(sizes)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(1, 40_000),
+    st.floats(0.1, 500.0, allow_nan=False),
+    st.floats(0.5, 100.0, allow_nan=False),
+)
+def test_single_transfer_time_matches_analytic(size, latency, bw):
+    sim = Simulator()
+    link = SimLink(sim, "a", "b", latency_ms=latency, bandwidth_mbps=bw)
+    done = []
+
+    def go():
+        yield from link.transfer("a", size)
+        done.append(sim.now)
+
+    sim.process(go())
+    sim.run()
+    expected = latency + size * 8 / (bw * 1e6) * 1e3
+    assert done[0] == pytest.approx(expected, rel=1e-9)

@@ -1,0 +1,54 @@
+"""Tests for the ASCII renderers."""
+
+import pytest
+
+from repro.experiments import build_fig5_network, run_fig6
+from repro.viz import render_chain, render_deployment, render_topology
+
+
+@pytest.fixture(scope="module")
+def world():
+    deployments = run_fig6(algorithm="dp_chain")
+    topo = build_fig5_network(clients_per_site=2)
+    return topo, deployments
+
+
+def test_render_topology_shows_sites_and_links(world):
+    topo, _ = world
+    out = render_topology(topo.network)
+    assert "[newyork]" in out and "[seattle]" in out
+    assert "(trust 5)" in out and "(trust 2)" in out
+    assert "[insecure]" in out
+    assert "200 ms / 20 Mb/s" in out
+    assert "o newyork-ms" in out
+
+
+def test_render_deployment_overlays_components(world):
+    topo, deployments = world
+    out = render_deployment(topo.network, [d.plan for d in deployments.values()])
+    assert "MC" in out and "VMS[3]" in out and "VMS[2]" in out
+    assert "MS*" in out  # the reused primary
+    assert "legend:" in out
+
+
+def test_render_deployment_full_names(world):
+    topo, deployments = world
+    out = render_deployment(
+        topo.network, [deployments["newyork"].plan], abbrev=False
+    )
+    assert "MailClient" in out
+    assert "legend" not in out
+
+
+def test_render_chain_annotates_paths(world):
+    topo, deployments = world
+    out = render_chain(topo.network, deployments["sandiego"].plan)
+    assert out.startswith("MailClient@sandiego")
+    assert "INSECURE" in out  # the E->D hop crosses the insecure WAN
+    assert "-->" in out
+
+
+def test_render_chain_local_hops(world):
+    topo, deployments = world
+    out = render_chain(topo.network, deployments["newyork"].plan)
+    assert "[local]" in out or "0ms" in out

@@ -1,0 +1,81 @@
+"""End-to-end: planning with dRBAC translation instead of the
+service-specific translator function (the full §6 proposal)."""
+
+import pytest
+
+from repro.experiments.topology_fig5 import SITE_TRUST, build_fig5_network
+from repro.planner import ExpectedLatency, Planner, PlanRequest
+from repro.services.mail import build_mail_spec
+from repro.trust import TrustEngine, TrustTranslator
+
+
+def build_trust_world():
+    """Fig-5 network whose properties come entirely from credentials."""
+    topo = build_fig5_network(clients_per_site=2)
+    spec = build_mail_spec()
+    engine = TrustEngine()
+    engine.register_authority("net", "net-admin")
+    engine.register_authority("mail", "mail-owner")
+
+    # Network authority attributes application-independent roles.
+    for node in topo.network.nodes():
+        trust = node.credentials["trust_level"]
+        engine.attribute(node.name, f"net.trust={trust}")
+        engine.attribute(node.name, "net.secure")  # nodes trust themselves
+    for link in topo.network.links():
+        engine.attribute(link.name, f"net.secure={'T' if link.secure else 'F'}")
+
+    # The mail owner translates them into its own namespace by delegation.
+    for level in range(1, 6):
+        engine.delegate(f"net.trust={level}", f"mail.TrustLevel={level}")
+    engine.delegate("net.secure", "mail.Confidentiality=T")
+    engine.delegate("net.secure=T", "mail.Confidentiality=T")
+    engine.delegate("net.secure=F", "mail.Confidentiality=F")
+
+    translator = TrustTranslator(engine, "mail", spec=spec)
+    return topo, spec, engine, translator
+
+
+def test_fig6_deployments_reproduce_under_trust_translation():
+    topo, spec, engine, translator = build_trust_world()
+    planner = Planner(spec, topo.network, translator, algorithm="exhaustive")
+    planner.preinstall("MailServer", topo.server_node)
+
+    ny, _ = planner.plan_and_commit(
+        PlanRequest("ClientInterface", "newyork-client1", context={"User": "Alice"})
+    )
+    assert [p.unit for p in ny.chain_from_root()] == ["MailClient", "MailServer"]
+
+    sd, _ = planner.plan_and_commit(
+        PlanRequest("ClientInterface", "sandiego-client1", context={"User": "Bob"})
+    )
+    assert [p.unit for p in sd.chain_from_root()] == [
+        "MailClient", "ViewMailServer", "Encryptor", "Decryptor", "MailServer",
+    ]
+
+    sea, _ = planner.plan_and_commit(
+        PlanRequest("ClientInterface", "seattle-client1", context={"User": "Carol"})
+    )
+    assert [p.unit for p in sea.chain_from_root()][0] == "ViewMailClient"
+
+
+def test_revoking_node_trust_changes_planning():
+    topo, spec, engine, translator = build_trust_world()
+    planner = Planner(spec, topo.network, translator, algorithm="exhaustive")
+    planner.preinstall("MailServer", topo.server_node)
+
+    # Revoke San Diego gw's trust attribution entirely: the planner can
+    # no longer instantiate a ViewMailServer there.
+    victim = None
+    for cred in engine._credentials:
+        if cred.subject == "sandiego-gw" and "trust" in cred.role.name:
+            victim = cred
+    assert victim is not None
+    engine.revoke(victim)
+    topo.network.touch()  # environments must be recomputed
+
+    plan = planner.plan(
+        PlanRequest("ClientInterface", "sandiego-client1", context={"User": "Bob"})
+    )
+    vms_nodes = [p.node for p in plan.placements if p.unit == "ViewMailServer"]
+    assert "sandiego-gw" not in vms_nodes
