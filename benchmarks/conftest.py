@@ -5,15 +5,55 @@ ablation DESIGN.md calls out) and attaches the reproduced numbers via
 ``benchmark.extra_info`` so they appear in ``pytest-benchmark``'s JSON
 output; the headline rows are also printed so a plain
 ``pytest benchmarks/ --benchmark-only`` run shows the reproduction.
+
+Each benchmark additionally runs under a metrics-only
+:class:`repro.obs.Observability` bundle (tracing off, so the measured
+code keeps its zero-tracing fast path), and the per-benchmark counter
+snapshots are written to ``benchmarks/METRICS_SNAPSHOT.json`` at session
+end — planner/coherence/simulator counters alongside the timing numbers.
+Set ``REPRO_METRICS_SNAPSHOT=0`` to disable the snapshot file.
 """
 
+import json
+import os
+import pathlib
+
 import pytest
+
+from repro.obs import Observability, set_default_obs
+
+_SNAPSHOT_ENABLED = os.environ.get("REPRO_METRICS_SNAPSHOT", "1") != "0"
+_snapshots = {}
 
 
 def pytest_configure(config):
     # Benchmarks are standalone; make `pytest benchmarks/` discover them
     # even though pyproject's testpaths points at tests/.
     pass
+
+
+@pytest.fixture(autouse=True)
+def metrics_snapshot(request):
+    """Per-benchmark metrics capture via the process-default obs bundle."""
+    if not _SNAPSHOT_ENABLED:
+        yield
+        return
+    obs = Observability(tracing=False, metrics=True)
+    previous = set_default_obs(obs)
+    try:
+        yield
+    finally:
+        set_default_obs(previous)
+        snap = obs.metrics.snapshot()
+        if any(snap.values()):
+            _snapshots[request.node.nodeid] = snap
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not (_SNAPSHOT_ENABLED and _snapshots):
+        return
+    out = pathlib.Path(__file__).parent / "METRICS_SNAPSHOT.json"
+    out.write_text(json.dumps(_snapshots, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

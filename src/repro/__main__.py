@@ -9,6 +9,17 @@ Commands regenerate the paper's artifacts or validate user specs:
 - ``chains``    — enumerate Figure 3's valid linkage chains
 - ``validate``  — parse + validate a service spec file (readable or XML)
 - ``plan``      — plan the mail service for a client at a given site
+- ``mail``      — run the mail service end to end on the Smock runtime
+
+Every command accepts the observability options::
+
+    python -m repro mail --trace /tmp/t.jsonl --metrics
+
+``--trace`` writes a JSON-lines trace (nested ``client_connect`` →
+``bind`` → ``plan``/``deploy`` spans with simulated *and* wall-clock
+durations, plus a final metrics-snapshot record); ``--metrics`` prints
+the counter/histogram summary; ``--log-json`` switches the console
+output to structured JSON log lines.
 """
 
 from __future__ import annotations
@@ -16,17 +27,26 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .obs import (
+    Observability,
+    configure_logging,
+    get_logger,
+    set_default_obs,
+)
+
+log = get_logger("cli")
+
 
 def cmd_fig5(args: argparse.Namespace) -> int:
     from .experiments import build_fig5_network
 
     topo = build_fig5_network(clients_per_site=args.clients)
-    print(f"Figure 5 topology: {len(topo.network)} nodes, "
-          f"{topo.network.n_links} links")
+    log.info(f"Figure 5 topology: {len(topo.network)} nodes, "
+             f"{topo.network.n_links} links")
     for link in topo.network.links():
         kind = "secure " if link.secure else "INSECURE"
-        print(f"  {link.a:18s} <-> {link.b:18s} {link.latency_ms:6.0f} ms "
-              f"{link.bandwidth_mbps:6.0f} Mb/s  {kind}")
+        log.info(f"  {link.a:18s} <-> {link.b:18s} {link.latency_ms:6.0f} ms "
+                 f"{link.bandwidth_mbps:6.0f} Mb/s  {kind}")
     return 0
 
 
@@ -36,14 +56,14 @@ def cmd_fig6(args: argparse.Namespace) -> int:
     deployments = run_fig6(algorithm=args.algorithm)
     for site, result in deployments.items():
         status = "matches the paper" if result.matches_paper else "DIFFERS"
-        print(f"{site} ({status}):")
-        print("  " + " -> ".join(f"{u}@{s}" for u, s in result.chain))
+        log.info(f"{site} ({status}):")
+        log.info("  " + " -> ".join(f"{u}@{s}" for u, s in result.chain))
     if args.draw:
         from .viz import render_deployment
 
         topo = build_fig5_network(clients_per_site=2)
-        print()
-        print(render_deployment(topo.network, [d.plan for d in deployments.values()]))
+        log.info("")
+        log.info(render_deployment(topo.network, [d.plan for d in deployments.values()]))
     return 0
 
 
@@ -52,14 +72,14 @@ def cmd_fig7(args: argparse.Namespace) -> int:
 
     counts = tuple(range(1, args.max_clients + 1))
     series = fig7_series(client_counts=counts, scenarios=args.scenarios or None)
-    print(format_fig7_table(series))
+    log.info(format_fig7_table(series))
     return 0
 
 
 def cmd_costs(args: argparse.Namespace) -> int:
     from .experiments import format_cost_table, measure_onetime_costs
 
-    print(format_cost_table(measure_onetime_costs()))
+    log.info(format_cost_table(measure_onetime_costs()))
     return 0
 
 
@@ -71,8 +91,8 @@ def cmd_chains(args: argparse.Namespace) -> int:
         build_mail_spec(), args.interface, max_units=args.max_units, max_repeat=2
     )
     for chain in chains:
-        print("  " + " -> ".join(chain))
-    print(f"({len(chains)} valid chains)")
+        log.info("  " + " -> ".join(chain))
+    log.info(f"({len(chains)} valid chains)")
     return 0
 
 
@@ -86,14 +106,14 @@ def cmd_validate(args: argparse.Namespace) -> int:
         else:
             spec = parse_service(text)
     except SpecError as exc:
-        print(f"INVALID: {exc}", file=sys.stderr)
+        log.error(f"INVALID: {exc}")
         return 1
-    print(f"OK: {spec}")
+    log.info(f"OK: {spec}")
     for unit in spec.units():
         kind = "view" if unit.is_view else "component"
-        print(f"  {kind:9s} {unit.name}: implements "
-              f"{[b.interface for b in unit.implements]}, requires "
-              f"{[b.interface for b in unit.requires]}")
+        log.info(f"  {kind:9s} {unit.name}: implements "
+                 f"{[b.interface for b in unit.implements]}, requires "
+                 f"{[b.interface for b in unit.requires]}")
     return 0
 
 
@@ -113,48 +133,137 @@ def cmd_plan(args: argparse.Namespace) -> int:
             PlanRequest("ClientInterface", node, context={"User": args.user})
         )
     except PlanningError as exc:
-        print(f"no valid deployment: {exc}", file=sys.stderr)
+        log.error(f"no valid deployment: {exc}")
         return 1
-    print(plan.describe())
+    log.info(plan.describe())
+    return 0
+
+
+def cmd_mail(args: argparse.Namespace) -> int:
+    """End-to-end mail service run: connect clients at several sites,
+    drive their workloads, and report latencies + coherence activity.
+
+    This exercises the full Figure 1 timeline (lookup → proxy download →
+    planning → deployment → binding → steady-state requests), which
+    makes it the natural target of ``--trace``/``--metrics``.
+    """
+    from .experiments import build_mail_testbed
+    from .services.mail import DEFAULT_USERS, WorkloadConfig, mail_workload
+
+    testbed = build_mail_testbed(
+        clients_per_site=max(1, args.clients_per_site),
+        flush_policy=args.flush_policy,
+        algorithm=args.algorithm,
+    )
+    runtime = testbed.runtime
+    sites = args.sites
+    users = list(DEFAULT_USERS)
+
+    proxies = []
+    for i, site in enumerate(sites):
+        node = testbed.client_nodes(site)[0]
+        user = users[i % len(users)]
+        proxy = runtime.run(
+            runtime.client_connect(node, {"User": user}), f"connect:{user}"
+        )
+        record = runtime.bind_records[-1]
+        plan = runtime.generic_server.accesses[-1].plan
+        chain = " -> ".join(
+            f"{p.unit}@{p.node}" for p in plan.chain_from_root()
+        )
+        log.info(f"{site}: {user} bound to {chain}")
+        log.info(
+            f"  one-time cost {record.total_ms:8.1f} ms  "
+            f"(lookup {record.lookup_ms:.1f}, planning {record.planning_ms:.1f}, "
+            f"deployment {record.deployment_ms:.1f})"
+        )
+        proxies.append((site, user, proxy))
+
+    peers = [user for _s, user, _p in proxies]
+    procs = []
+    for site, user, proxy in proxies:
+        config = WorkloadConfig(
+            user=user,
+            peers=[u for u in peers if u != user] or [user],
+            n_sends=args.sends,
+            n_receives=args.receives,
+            seed=args.seed,
+        )
+        procs.append(
+            (site, user, runtime.sim.process(mail_workload(proxy, config),
+                                             name=f"workload:{user}"))
+        )
+    runtime.sim.run()
+
+    for site, user, proc in procs:
+        result = proc.value
+        log.info(
+            f"{site}: {user} mean send {result.mean_send_ms:8.2f} ms, "
+            f"mean receive {result.mean_receive_ms:8.2f} ms"
+        )
+    stats = runtime.coherence.stats
+    log.info(
+        f"coherence: {stats.local_updates} local updates, {stats.syncs} flushes, "
+        f"{stats.invalidations} invalidations, {stats.stale_reads} stale reads"
+    )
+    log.info(f"simulated time: {runtime.sim.now:.1f} ms")
     return 0
 
 
 def main(argv=None) -> int:
+    obs_parser = argparse.ArgumentParser(add_help=False)
+    group = obs_parser.add_argument_group("observability")
+    group.add_argument("--trace", metavar="PATH", default=None,
+                       help="write a JSON-lines span trace to PATH")
+    group.add_argument("--metrics", action="store_true",
+                       help="print the metrics summary after the command")
+    group.add_argument("--log-level", default="INFO",
+                       choices=["DEBUG", "INFO", "WARNING", "ERROR"])
+    group.add_argument("--log-json", action="store_true",
+                       help="emit structured JSON log lines instead of text")
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Partitionable-services reproduction (HPDC 2002)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("fig5", help="print the case-study topology")
+    p = sub.add_parser("fig5", help="print the case-study topology",
+                       parents=[obs_parser])
     p.add_argument("--clients", type=int, default=2)
     p.set_defaults(fn=cmd_fig5)
 
-    p = sub.add_parser("fig6", help="plan the three site deployments")
+    p = sub.add_parser("fig6", help="plan the three site deployments",
+                       parents=[obs_parser])
     p.add_argument("--algorithm", default="exhaustive",
                    choices=["exhaustive", "dp_chain", "partial_order"])
     p.add_argument("--draw", action="store_true",
                    help="render the Figure 6 deployment picture")
     p.set_defaults(fn=cmd_fig6)
 
-    p = sub.add_parser("fig7", help="run the latency scenario sweep")
+    p = sub.add_parser("fig7", help="run the latency scenario sweep",
+                       parents=[obs_parser])
     p.add_argument("--max-clients", type=int, default=5)
     p.add_argument("--scenarios", nargs="*", default=None)
     p.set_defaults(fn=cmd_fig7)
 
-    p = sub.add_parser("costs", help="one-time cost breakdown (§4.2)")
+    p = sub.add_parser("costs", help="one-time cost breakdown (§4.2)",
+                       parents=[obs_parser])
     p.set_defaults(fn=cmd_costs)
 
-    p = sub.add_parser("chains", help="enumerate valid linkage chains (Fig 3)")
+    p = sub.add_parser("chains", help="enumerate valid linkage chains (Fig 3)",
+                       parents=[obs_parser])
     p.add_argument("--interface", default="ClientInterface")
     p.add_argument("--max-units", type=int, default=6)
     p.set_defaults(fn=cmd_chains)
 
-    p = sub.add_parser("validate", help="validate a service spec file")
+    p = sub.add_parser("validate", help="validate a service spec file",
+                       parents=[obs_parser])
     p.add_argument("file")
     p.set_defaults(fn=cmd_validate)
 
-    p = sub.add_parser("plan", help="plan the mail service for one client")
+    p = sub.add_parser("plan", help="plan the mail service for one client",
+                       parents=[obs_parser])
     p.add_argument("--site", default="sandiego",
                    choices=["newyork", "sandiego", "seattle"])
     p.add_argument("--user", default="Bob")
@@ -162,8 +271,45 @@ def main(argv=None) -> int:
                    choices=["exhaustive", "dp_chain", "partial_order"])
     p.set_defaults(fn=cmd_plan)
 
+    p = sub.add_parser("mail", help="run the mail service end to end",
+                       parents=[obs_parser])
+    p.add_argument("--sites", nargs="*", default=["sandiego", "seattle"],
+                   choices=["newyork", "sandiego", "seattle"])
+    p.add_argument("--clients-per-site", type=int, default=2)
+    p.add_argument("--sends", type=int, default=30)
+    p.add_argument("--receives", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--flush-policy", default="count:100",
+                   help='replica flush policy ("never", "count:N", "time:MS", '
+                        '"write_through")')
+    p.add_argument("--algorithm", default="dp_chain",
+                   choices=["exhaustive", "dp_chain", "partial_order"])
+    p.set_defaults(fn=cmd_mail)
+
     args = parser.parse_args(argv)
-    return args.fn(args)
+    configure_logging(level=args.log_level, json_output=args.log_json)
+
+    obs = None
+    previous = None
+    if args.trace or args.metrics:
+        obs = Observability(tracing=args.trace is not None, metrics=True)
+        previous = set_default_obs(obs)
+    try:
+        rc = args.fn(args)
+    finally:
+        if obs is not None:
+            set_default_obs(previous)
+            if args.trace:
+                # The trace carries its own metrics snapshot so one file
+                # holds the complete observability record of the run.
+                obs.recorder.add(
+                    {"type": "metrics", "metrics": obs.metrics.snapshot()}
+                )
+                written = obs.recorder.to_jsonl(args.trace)
+                log.info(f"[trace] {written} records -> {args.trace}")
+            if args.metrics:
+                log.info(obs.metrics.render())
+    return rc
 
 
 if __name__ == "__main__":

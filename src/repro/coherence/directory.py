@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Protocol, Tuple
 
+from ..obs import Observability, resolve_obs
 from .conflicts import ConflictMap, Update, ViewConfig
 from .policies import FlushPolicy, NeverPolicy
 
@@ -45,6 +46,10 @@ class CoherenceStats:
     messages_propagated: int = 0
     bytes_propagated: int = 0
     invalidations: int = 0
+    #: updates that the conflict map matched against some replica config
+    conflict_map_hits: int = 0
+    #: reads a replica had to forward upstream because its copy was stale
+    stale_reads: int = 0
 
 
 @dataclass
@@ -69,13 +74,18 @@ class ReplicaEntry:
 class CoherenceDirectory:
     """The coherence module of the Smock runtime."""
 
-    def __init__(self, conflict_map: Optional[ConflictMap] = None) -> None:
+    def __init__(
+        self,
+        conflict_map: Optional[ConflictMap] = None,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.conflict_map = conflict_map or ConflictMap()
         self._primaries: Dict[str, Any] = {}
         self._replicas: Dict[int, ReplicaEntry] = {}
         self._by_family: Dict[str, List[int]] = {}
         self._next_id = 0
         self.stats = CoherenceStats()
+        self.obs = resolve_obs(obs)
 
     # -- registration -------------------------------------------------------
     def register_primary(self, family: str, host: Any) -> None:
@@ -126,6 +136,7 @@ class CoherenceDirectory:
         entry.pending_units += update.multiplicity
         self.stats.local_updates += 1
         self.stats.buffered_units += update.multiplicity
+        self.obs.metrics.inc("coherence.local_updates")
         return entry.policy.should_flush(entry.pending_units, now_ms, entry.last_flush_ms)
 
     def needs_flush(self, replica_id: int, now_ms: float) -> bool:
@@ -147,15 +158,24 @@ class CoherenceDirectory:
         """Bookkeeping after a successful upstream reconciliation."""
         entry = self._replicas[replica_id]
         entry.last_flush_ms = now_ms
+        messages = sum(u.multiplicity for u in batch)
+        size = sum(u.size_bytes for u in batch)
         self.stats.syncs += 1
-        self.stats.messages_propagated += sum(u.multiplicity for u in batch)
-        self.stats.bytes_propagated += sum(u.size_bytes for u in batch)
+        self.stats.messages_propagated += messages
+        self.stats.bytes_propagated += size
+        m = self.obs.metrics
+        if m.enabled:
+            policy = type(entry.policy).__name__
+            m.inc("coherence.flushes", 1, policy=policy)
+            m.inc("coherence.messages_propagated", messages, policy=policy)
+            m.inc("coherence.bytes_propagated", size, policy=policy)
 
     def requeue(self, replica_id: int, batch: List[Update]) -> None:
         """Put a batch back after a failed propagation attempt."""
         entry = self._replicas[replica_id]
         entry.pending = batch + entry.pending
         entry.pending_units += sum(u.multiplicity for u in batch)
+        self.obs.metrics.inc("coherence.requeues")
 
     # -- invalidation fan-out ----------------------------------------------------
     def broadcast_invalidations(
@@ -182,7 +202,21 @@ class CoherenceDirectory:
             entry.host.on_invalidate(conflicting)
             delivered += 1
             self.stats.invalidations += len(conflicting)
+            self.stats.conflict_map_hits += len(conflicting)
+            m = self.obs.metrics
+            if m.enabled:
+                m.inc("coherence.invalidations", len(conflicting), family=family)
+                m.inc("coherence.conflict_map_hits", len(conflicting))
         return delivered
+
+    def note_stale_read(self, family: Optional[str] = None) -> None:
+        """Record that a replica forwarded a read upstream because its
+        local copy was invalidated (the cost invalidations externalize)."""
+        self.stats.stale_reads += 1
+        if family is not None:
+            self.obs.metrics.inc("coherence.stale_reads", 1, family=family)
+        else:
+            self.obs.metrics.inc("coherence.stale_reads")
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,100 @@
+"""Structured logging on top of the stdlib, CLI-output compatible.
+
+All repository loggers live under the ``repro`` namespace
+(:func:`get_logger`).  :func:`configure_logging` installs handlers whose
+*default* rendering is exactly what ``print()`` produced before —
+bare ``%(message)s`` to stdout for INFO and below-ERROR records, and to
+stderr for ERROR and up — so scripts that scrape the CLI keep working.
+``json_output=True`` swaps in :class:`JsonFormatter`, one JSON object
+per line with any structured fields passed via ``extra={"fields": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, IO, Optional
+
+__all__ = ["configure_logging", "get_logger", "JsonFormatter"]
+
+ROOT_LOGGER = "repro"
+
+# Library default: never emit "no handler" warnings for importers that
+# don't configure logging.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger in the ``repro`` namespace (``get_logger("cli")`` →
+    ``repro.cli``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, msg (+ fields)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload["fields"] = fields
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class _BelowErrorFilter(logging.Filter):
+    def filter(self, record: logging.LogRecord) -> bool:
+        return record.levelno < logging.ERROR
+
+
+#: marker attribute so reconfiguration replaces only our handlers
+_MANAGED = "_repro_obs_managed"
+
+
+def configure_logging(
+    level: str = "INFO",
+    json_output: bool = False,
+    stream: Optional[IO[str]] = None,
+    err_stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree; idempotent.
+
+    With ``stream`` given, everything (all levels) goes there — handy
+    for tests.  Otherwise records below ERROR go to stdout and ERROR+
+    to stderr, matching the CLI's historic ``print`` behavior.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, _MANAGED, False):
+            root.removeHandler(handler)
+
+    formatter: logging.Formatter = (
+        JsonFormatter() if json_output else logging.Formatter("%(message)s")
+    )
+
+    def _make(target: IO[str]) -> logging.Handler:
+        handler = logging.StreamHandler(target)
+        handler.setFormatter(formatter)
+        setattr(handler, _MANAGED, True)
+        return handler
+
+    if stream is not None:
+        root.addHandler(_make(stream))
+    else:
+        out = _make(sys.stdout)
+        out.addFilter(_BelowErrorFilter())
+        err = _make(err_stream or sys.stderr)
+        err.setLevel(logging.ERROR)
+        root.addHandler(out)
+        root.addHandler(err)
+
+    root.setLevel(getattr(logging, level.upper(), logging.INFO))
+    return root

@@ -1,0 +1,147 @@
+"""Spans: one timed operation, on two clocks at once.
+
+A :class:`Span` measures an operation against the host's wall clock
+(``time.perf_counter``) and, when the owning tracer has a simulated
+clock bound (see :meth:`repro.obs.tracer.Tracer.bind_sim_clock`),
+against the simulator's virtual clock as well.  The two rarely agree —
+planning burns wall time but only the charged CPU work appears on the
+simulated clock — and the gap is itself informative.
+
+:data:`NULL_SPAN` is the do-nothing singleton returned by a disabled
+tracer, so instrumented code never branches on "is tracing on?".
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["Span", "NullSpan", "NULL_SPAN"]
+
+
+class Span:
+    """One finished-or-in-flight traced operation."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attrs",
+        "status",
+        "wall_ms",
+        "sim_start_ms",
+        "sim_ms",
+        "_wall_start",
+        "_tracer",
+        "_finished",
+    )
+
+    def __init__(
+        self,
+        tracer: Any,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+        self.status = "ok"
+        self._wall_start = time.perf_counter()
+        self.wall_ms: Optional[float] = None
+        self.sim_start_ms: Optional[float] = tracer.sim_now()
+        self.sim_ms: Optional[float] = None
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, status: Optional[str] = None, **attrs: Any) -> "Span":
+        """Close the span (idempotent) and hand it to the recorder."""
+        if self._finished:
+            return self
+        self._finished = True
+        if attrs:
+            self.attrs.update(attrs)
+        if status is not None:
+            self.status = status
+        self.wall_ms = (time.perf_counter() - self._wall_start) * 1e3
+        if self.sim_start_ms is not None:
+            now = self._tracer.sim_now()
+            if now is not None:
+                self.sim_ms = now - self.sim_start_ms
+        self._tracer._record(self)
+        return self
+
+    def to_record(self) -> Dict[str, Any]:
+        """The JSON-lines representation of this span."""
+        rec: Dict[str, Any] = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "status": self.status,
+            "wall_ms": self.wall_ms,
+        }
+        if self.sim_start_ms is not None:
+            rec["sim_start_ms"] = self.sim_start_ms
+            rec["sim_ms"] = self.sim_ms
+        if self.attrs:
+            rec["attrs"] = dict(self.attrs)
+        return rec
+
+    # Context-manager support for explicit, non-stack-tracked spans.
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.finish(status="error" if exc_type is not None else None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dur = f"{self.wall_ms:.2f}ms" if self.wall_ms is not None else "open"
+        return f"<Span {self.name} #{self.span_id} {dur}>"
+
+
+class NullSpan:
+    """Inert stand-in used when tracing is disabled."""
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+    name = ""
+    attrs: Dict[str, Any] = {}
+    status = "ok"
+    wall_ms = None
+    sim_start_ms = None
+    sim_ms = None
+    finished = True
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def finish(self, status: Optional[str] = None, **attrs: Any) -> "NullSpan":
+        return self
+
+    def to_record(self) -> Dict[str, Any]:
+        return {}
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullSpan>"
+
+
+NULL_SPAN = NullSpan()

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..network import CredentialTranslator, Environment, Network, PathInfo
+from ..obs import Observability, resolve_obs
 from ..spec import (
     ANY,
     ComponentDef,
@@ -45,8 +46,11 @@ class PlanningContext:
     spec: ServiceSpec
     network: Network
     translator: CredentialTranslator
+    #: observability bundle shared by every algorithm using this context
+    obs: Optional[Observability] = None
 
     def __post_init__(self) -> None:
+        self.obs = resolve_obs(self.obs)
         self._node_env_cache: Dict[str, Dict[str, Any]] = {}
         self._path_env_cache: Dict[Tuple[str, str], Dict[str, Any]] = {}
         self._implements_cache: Dict[Tuple[str, str], Dict[str, Dict[str, Any]]] = {}

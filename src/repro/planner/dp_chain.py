@@ -127,7 +127,9 @@ def plan_dp_chain(
     best: Optional[DeploymentPlan] = None
     chains = [
         g
-        for g in enumerate_linkage_graphs(spec, request.interface, limit, max_repeat)
+        for g in enumerate_linkage_graphs(
+            spec, request.interface, limit, max_repeat, obs=ctx.obs
+        )
         if g.is_chain
     ]
     root_nodes = (

@@ -40,12 +40,21 @@ __all__ = ["plan_exhaustive", "SearchStats"]
 
 @dataclass
 class SearchStats:
-    """Instrumentation for the scaling benchmarks."""
+    """Instrumentation for the scaling benchmarks and the obs layer.
+
+    The ``*_rejected`` counters attribute dead branches to the paper's
+    three validity conditions: ``install_rejected`` is condition 1
+    (instantiation/factor binding), ``compat_rejected`` condition 2
+    (property compatibility under path environments), and
+    ``load_rejected`` condition 3 (capacity).
+    """
 
     nodes_expanded: int = 0
     complete_plans: int = 0
     pruned: int = 0
     load_rejected: int = 0
+    install_rejected: int = 0
+    compat_rejected: int = 0
 
 
 def _reaches(linkages: List[PlannedLinkage], src: int, dst: int) -> bool:
@@ -124,8 +133,10 @@ def plan_exhaustive(
                 for node_info in ctx.network.nodes():
                     placement = _instantiate(ctx, provider, node_info.name, request.context)
                     if placement is None:
+                        stats.install_rejected += 1
                         continue
                     if placement.implemented_props(iface) is None:
+                        stats.install_rejected += 1
                         continue
                     cached.append((provider, placement))
             _candidate_cache[iface] = cached
@@ -179,6 +190,7 @@ def plan_exhaustive(
                 continue
             env = ctx.path_env(client_place.node, srv.node)
             if not ctx.properties_compatible(required, impl, env):
+                stats.compat_rejected += 1
                 continue
             cost = (
                 objective.edge_cost(ctx, client_unit, client_place.node, srv.node, edge_prob)
@@ -200,6 +212,7 @@ def plan_exhaustive(
                 continue
             env = ctx.path_env(client_place.node, installed.node)
             if not ctx.properties_compatible(required, impl, env):
+                stats.compat_rejected += 1
                 continue
             cost = (
                 objective.edge_cost(
@@ -230,6 +243,7 @@ def plan_exhaustive(
                 continue
             env = ctx.path_env(client_place.node, node)
             if not ctx.properties_compatible(required, impl, env):
+                stats.compat_rejected += 1
                 continue
             cost = 0.0
             if prune_enabled:

@@ -20,8 +20,9 @@ same interface, the space is infinite; enumeration is bounded by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..obs import Observability, resolve_obs
 from ..spec import ComponentDef, ServiceSpec
 
 __all__ = ["LinkageGraph", "enumerate_linkage_graphs", "valid_chains"]
@@ -69,12 +70,29 @@ def enumerate_linkage_graphs(
     interface: str,
     max_units: int = 8,
     max_repeat: int = 2,
+    obs: Optional[Observability] = None,
 ) -> List[LinkageGraph]:
     """All bounded linkage trees able to satisfy ``interface``.
 
     Deterministic order: graphs are produced smallest-first by unit
-    count, then by the spec's declaration order.
+    count, then by the spec's declaration order.  Enumeration is traced
+    as a ``planner.linkage.enumerate`` span and counted under
+    ``planner.linkage_graphs_enumerated`` (the cost the paper's §4.1
+    measures against ``max_units``).
     """
+    obs = resolve_obs(obs)
+    with obs.tracer.span(
+        "planner.linkage.enumerate", interface=interface, max_units=max_units
+    ) as span:
+        results = _enumerate(spec, interface, max_units, max_repeat)
+        span.set(graphs=len(results))
+    obs.metrics.inc("planner.linkage_graphs_enumerated", len(results))
+    return results
+
+
+def _enumerate(
+    spec: ServiceSpec, interface: str, max_units: int, max_repeat: int
+) -> List[LinkageGraph]:
     results: List[LinkageGraph] = []
     roots = spec.implementers_of(interface)
 

@@ -82,7 +82,7 @@ def plan_partial_order(
     prune = objective.supports_pruning
 
     graphs = enumerate_linkage_graphs(
-        spec, request.interface, request.max_units, max_repeat
+        spec, request.interface, request.max_units, max_repeat, obs=ctx.obs
     )
 
     def root_acceptable(placement: Placement) -> bool:

@@ -9,17 +9,20 @@ across successive client requests).
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..network import CredentialTranslator, Network
+from ..obs import Observability, resolve_obs
 from ..spec import ComponentDef, ServiceSpec
 from .compat import PlanningContext
-from .dp_chain import plan_dp_chain
-from .exhaustive import _instantiate, plan_exhaustive
+from .dp_chain import DPStats, plan_dp_chain
+from .exhaustive import SearchStats, _instantiate, plan_exhaustive
 from .load import LoadReport, check_loads, compute_loads
 from .objectives import ExpectedLatency, Objective
-from .partial_order import plan_partial_order
+from .partial_order import CSPStats, plan_partial_order
 from .plan import DeploymentPlan, DeploymentState, Placement, PlanRequest
 
 __all__ = ["Planner", "PlanningError", "ALGORITHMS"]
@@ -35,6 +38,14 @@ ALGORITHMS: Dict[str, Callable[..., Optional[DeploymentPlan]]] = {
     "partial_order": plan_partial_order,
 }
 
+#: per-algorithm instrumentation record types (externally registered
+#: algorithms simply run without a stats object)
+STATS_FACTORIES: Dict[str, Callable[[], Any]] = {
+    "exhaustive": SearchStats,
+    "dp_chain": DPStats,
+    "partial_order": CSPStats,
+}
+
 
 class Planner:
     """The framework's planning module (paper §3.3)."""
@@ -46,15 +57,19 @@ class Planner:
         translator: CredentialTranslator,
         objective: Optional[Objective] = None,
         algorithm: str = "exhaustive",
+        obs: Optional[Observability] = None,
     ) -> None:
         if algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; expected one of {sorted(ALGORITHMS)}"
             )
-        self.ctx = PlanningContext(spec, network, translator)
+        self.obs = resolve_obs(obs)
+        self.ctx = PlanningContext(spec, network, translator, obs=self.obs)
         self.state = DeploymentState()
         self.objective = objective or ExpectedLatency()
         self.algorithm = algorithm
+        #: instrumentation record of the most recent :meth:`plan` call
+        self.last_stats: Optional[Any] = None
 
     @property
     def spec(self) -> ServiceSpec:
@@ -87,8 +102,41 @@ class Planner:
 
         Raises :class:`PlanningError` when no valid mapping exists.
         """
-        fn = ALGORITHMS[algorithm or self.algorithm]
-        plan = fn(self.ctx, request, self.state, objective or self.objective)
+        algo = algorithm or self.algorithm
+        fn = ALGORITHMS[algo]
+        obs = self.obs
+        stats_factory = STATS_FACTORIES.get(algo)
+        stats = stats_factory() if stats_factory is not None else None
+        with obs.tracer.span(
+            "planner.plan",
+            interface=request.interface,
+            client_node=request.client_node,
+            algorithm=algo,
+        ) as span:
+            t0 = time.perf_counter()
+            if stats is not None:
+                plan = fn(
+                    self.ctx, request, self.state, objective or self.objective,
+                    stats=stats,
+                )
+            else:
+                plan = fn(self.ctx, request, self.state, objective or self.objective)
+            wall_ms = (time.perf_counter() - t0) * 1e3
+            span.set(found=plan is not None)
+        self.last_stats = stats
+        if obs.metrics.enabled:
+            m = obs.metrics
+            if stats is not None:
+                for counter_name, value in dataclasses.asdict(stats).items():
+                    if value:
+                        m.inc(f"planner.{counter_name}", value, algorithm=algo)
+            m.observe("planner.plan_wall_ms", wall_ms, algorithm=algo)
+            m.inc(
+                "planner.plans_computed" if plan is not None
+                else "planner.plans_failed",
+                1,
+                algorithm=algo,
+            )
         if plan is None:
             raise PlanningError(
                 f"no valid deployment for {request.interface!r} "
@@ -111,6 +159,7 @@ class Planner:
         self.network.touch()
 
         self.state.absorb(plan, report.inbound)
+        self.obs.metrics.inc("planner.commits")
         return report
 
     def plan_and_commit(
@@ -139,7 +188,9 @@ class Planner:
         snapshot = self.ctx.network.snapshot()
         mutate(snapshot)
         snapshot.touch()
-        hypothetical = PlanningContext(self.spec, snapshot, self.ctx.translator)
+        hypothetical = PlanningContext(
+            self.spec, snapshot, self.ctx.translator, obs=self.obs
+        )
         fn = ALGORITHMS[algorithm or self.algorithm]
         return fn(hypothetical, request, self.state, self.objective)
 

@@ -353,6 +353,8 @@ class ViewMailServerComponent(_StoreBase):
 
     def op_fetch_mail(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
         user, since_id, max_s = self._fetch_args(req)
+        if user in self.stale_users:
+            self.coherence.note_stale_read(self.unit.represents)
         needs_upstream = user in self.stale_users or (
             max_s is not None and max_s > self.trust_level
         )

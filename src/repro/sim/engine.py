@@ -17,6 +17,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+from ..obs import Observability, resolve_obs
 from .events import AllOf, AnyOf, Event, SimulationError, Timeout
 from .process import Process
 
@@ -31,14 +32,51 @@ class Simulator:
         sim = Simulator()
         sim.process(my_generator(sim))
         sim.run(until=10_000.0)
+
+    Observability: the simulator binds its virtual clock to the
+    tracer, so every span opened while this simulator exists records a
+    simulated duration alongside its wall-clock one.  With
+    ``obs.capture_sim_events`` set, each dispatched event additionally
+    emits a ``sim.dispatch`` point event through the tracer — the
+    successor of the legacy ``trace`` list, which remains supported as
+    a shim (assign a list to :attr:`trace` and dispatches are mirrored
+    into it as ``(time, repr(event))`` tuples).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Observability] = None) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._running = False
-        self.trace: Optional[List[Tuple[float, str]]] = None
+        self._trace: Optional[List[Tuple[float, str]]] = None
+        self.obs = resolve_obs(obs)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.bind_sim_clock(lambda: self._now)
+        # Dispatch-loop metric handles, resolved once: the step() loop
+        # is the hottest path in the repository.
+        self._evt_counter = (
+            self.obs.metrics.counter("sim.events_dispatched")
+            if self.obs.metrics.enabled
+            else None
+        )
+        self._capture_events = (
+            self.obs.capture_sim_events and self.obs.tracer.enabled
+        )
+
+    # -- legacy trace shim -------------------------------------------------
+    @property
+    def trace(self) -> Optional[List[Tuple[float, str]]]:
+        """Legacy dispatch log: ``(time, repr(event))`` per step.
+
+        Superseded by the tracer (see class docstring); assigning a
+        list here still works and mirrors exactly what the tracer's
+        ``sim.dispatch`` events carry.
+        """
+        return self._trace
+
+    @trace.setter
+    def trace(self, value: Optional[List[Tuple[float, str]]]) -> None:
+        self._trace = value
 
     # -- clock ------------------------------------------------------------
     @property
@@ -105,8 +143,14 @@ class Simulator:
         if when < self._now:
             raise SimulationError("event list corrupted: time went backwards")
         self._now = when
-        if self.trace is not None:
-            self.trace.append((when, repr(event)))
+        if self._trace is not None or self._capture_events:
+            label = repr(event)
+            if self._trace is not None:
+                self._trace.append((when, label))
+            if self._capture_events:
+                self.obs.tracer.event("sim.dispatch", event=label)
+        if self._evt_counter is not None:
+            self._evt_counter.inc()
         self._dispatch(event)
         return when
 

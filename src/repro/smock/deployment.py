@@ -53,16 +53,26 @@ class Deployer:
         self.deployments: List[DeploymentRecord] = []
 
     def execute(
-        self, plan: DeploymentPlan, bundle: Any = None
+        self, plan: DeploymentPlan, bundle: Any = None, parent_span: Any = None
     ) -> Generator[Any, Any, DeploymentRecord]:
         """Process generator: install, wire, and register a plan.
 
         ``bundle`` selects which hosted service's spec/classes/instances
-        apply; defaults to the runtime's primary service.
+        apply; defaults to the runtime's primary service.  Traced as a
+        ``deploy`` span with one ``install`` child per freshly installed
+        component (node-attributed, so trace consumers can break §4.2
+        deployment cost down per target host).
         """
         runtime = self.runtime
         bundle = bundle if bundle is not None else runtime.primary
         sim = runtime.sim
+        tracer = runtime.obs.tracer
+        deploy_span = tracer.start_span(
+            "deploy",
+            parent=parent_span,
+            client_node=plan.client_node,
+            placements=len(plan.placements),
+        )
         started = sim.now
         instances: Dict[int, RuntimeComponent] = {}
         new_instances: List[RuntimeComponent] = []
@@ -86,12 +96,16 @@ class Deployer:
                     done.add(i)
                     progress = True
             if not progress:
+                deploy_span.finish(status="error", error="cyclic linkages")
                 raise DeploymentError("plan linkages are cyclic")
         for idx in order:
             placement = plan.placements[idx]
             existing = bundle.instances.get(placement.key)
             if placement.reused:
                 if existing is None:
+                    deploy_span.finish(
+                        status="error", error=f"missing reused {placement.label()}"
+                    )
                     raise DeploymentError(
                         f"plan reuses {placement.label()} but no such instance is running"
                     )
@@ -103,8 +117,24 @@ class Deployer:
                 instances[idx] = existing
                 continue
             t0 = sim.now
-            instance = yield from self._install(placement, bundle)
+            install_span = tracer.start_span(
+                "install",
+                parent=deploy_span,
+                unit=placement.unit,
+                node=placement.node,
+            )
+            try:
+                instance = yield from self._install(placement, bundle)
+            except BaseException as exc:
+                install_span.finish(status="error", error=repr(exc))
+                deploy_span.finish(status="error", error=repr(exc))
+                raise
+            install_span.finish(instance_id=instance.instance_id)
             install_ms[instance.instance_id] = sim.now - t0
+            m = runtime.obs.metrics
+            if m.enabled:
+                m.inc("smock.installs", 1, node=placement.node)
+                m.observe("smock.install_sim_ms", sim.now - t0, unit=placement.unit)
             instances[idx] = instance
             new_instances.append(instance)
             bundle.instances[placement.key] = instance
@@ -149,6 +179,8 @@ class Deployer:
             install_ms=install_ms,
         )
         self.deployments.append(record)
+        deploy_span.finish(new_instances=len(new_instances))
+        runtime.obs.metrics.observe("smock.deploy_sim_ms", record.total_ms)
         return record
 
     def _install(

@@ -75,6 +75,7 @@ class LookupService:
         from .proxy import GenericProxy  # local import: avoid cycle
 
         self.lookups += 1
+        self.runtime.obs.metrics.inc("smock.lookups")
         if name is not None:
             reg = self._registry.get(name)
             if reg is None:

@@ -72,12 +72,20 @@ class ServiceProxy:
         response_is_error: bool = False,
     ) -> Generator[Any, Any, ServiceResponse]:
         """Process generator: one service operation, end to end."""
-        start = self.runtime.sim.now
+        obs = self.runtime.obs
+        sim = self.runtime.sim
+        start = sim.now
+        span = obs.tracer.start_span(
+            "request", op=op, client_node=self.client_node
+        )
         req = ServiceRequest(
             op=op, payload=dict(payload or {}), size_bytes=size_bytes, user=self.user
         )
         resp = yield from self._stub.request(req)
-        self.latency.observe(self.runtime.sim.now - start)
+        elapsed = sim.now - start
+        self.latency.observe(elapsed)
+        span.finish(status=None if resp.ok else "error")
+        obs.metrics.observe("smock.request_sim_ms", elapsed, op=op)
         return resp
 
 
@@ -111,6 +119,7 @@ class GenericProxy:
         interface: Optional[str] = None,
         request_rate: float = 0.0,
         algorithm: Optional[str] = None,
+        parent_span: Any = None,
     ) -> Generator[Any, Any, ServiceProxy]:
         """Process generator: contact the generic server, deploy, swap."""
         runtime = self.runtime
@@ -119,27 +128,45 @@ class GenericProxy:
         bundle = runtime.bundle_for(self.registration.name)
         interface = interface or bundle.default_interface
         server = bundle.server
+        span = runtime.obs.tracer.start_span(
+            "bind",
+            parent=parent_span,
+            client_node=self.client_node,
+            service=self.registration.name,
+            interface=interface,
+        )
 
         record = BindRecord()
         t0 = sim.now
-        # Step 3: request + supporting credentials travel to the server.
-        yield from runtime.transport.deliver(
-            self.client_node, server.host_node, ACCESS_REQUEST_BYTES
-        )
-        access = yield from server.handle_access(
-            self.client_node,
-            context,
-            interface,
-            request_rate=request_rate,
-            algorithm=algorithm,
-        )
-        # The service-specific proxy (binding info) returns to the client.
-        yield from runtime.transport.deliver(
-            server.host_node, self.client_node, ACCESS_RESPONSE_BYTES
-        )
+        try:
+            # Step 3: request + supporting credentials travel to the server.
+            yield from runtime.transport.deliver(
+                self.client_node, server.host_node, ACCESS_REQUEST_BYTES
+            )
+            access = yield from server.handle_access(
+                self.client_node,
+                context,
+                interface,
+                request_rate=request_rate,
+                algorithm=algorithm,
+                parent_span=span,
+            )
+            # The service-specific proxy (binding info) returns to the client.
+            yield from runtime.transport.deliver(
+                server.host_node, self.client_node, ACCESS_RESPONSE_BYTES
+            )
+        except BaseException as exc:
+            span.finish(status="error", error=repr(exc))
+            raise
         record.access_round_trip_ms = sim.now - t0 - access.total_ms
         record.planning_ms = access.planning_ms
         record.deployment_ms = access.deployment.total_ms
+        span.finish(
+            planning_ms=record.planning_ms, deployment_ms=record.deployment_ms
+        )
+        runtime.obs.metrics.observe(
+            "smock.bind_sim_ms", sim.now - t0, service=self.registration.name
+        )
 
         self.service_proxy = ServiceProxy(
             runtime,

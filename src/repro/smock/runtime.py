@@ -31,6 +31,7 @@ from ..coherence import (
     NeverPolicy,
 )
 from ..network import CredentialTranslator, Network
+from ..obs import Observability, resolve_obs
 from ..planner import (
     DeploymentPlan,
     Placement,
@@ -70,9 +71,16 @@ class SmockRuntime:
         planning_work: float = DEFAULT_PLANNING_WORK,
         conflict_map: Optional[ConflictMap] = None,
         view_policy: Optional[Callable[[ViewDef, Any], FlushPolicy]] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.network = network
-        self.sim = sim or Simulator()
+        self.obs = resolve_obs(obs)
+        self.sim = sim or Simulator(obs=self.obs)
+        if self.obs.tracer.enabled:
+            # An externally-supplied simulator may carry a different (or
+            # null) obs; bind our tracer to whichever clock we ended up
+            # with so spans always get simulated durations.
+            self.obs.tracer.bind_sim_clock(lambda: self.sim.now)
         self.transport = RuntimeTransport(self.sim, network)
         first_node = next(iter(network.nodes())).name
         self.lookup_node = lookup_node or first_node
@@ -122,13 +130,15 @@ class SmockRuntime:
         conflict_map: Optional[ConflictMap],
         view_policy: Optional[Callable[[ViewDef, Any], FlushPolicy]],
     ) -> ServiceBundle:
-        planner = Planner(spec, self.network, translator, objective, algorithm)
+        planner = Planner(
+            spec, self.network, translator, objective, algorithm, obs=self.obs
+        )
         bundle = ServiceBundle(
             name=name,
             spec=spec,
             planner=planner,
             server=None,  # type: ignore[arg-type]  (set right below)
-            coherence=CoherenceDirectory(conflict_map),
+            coherence=CoherenceDirectory(conflict_map, obs=self.obs),
             code_base_node=code_base_node,
             view_policy=view_policy or (lambda view, instance: NeverPolicy()),
         )
@@ -318,16 +328,43 @@ class SmockRuntime:
         request_rate: float = 0.0,
         algorithm: Optional[str] = None,
     ) -> Generator[Any, Any, ServiceProxy]:
-        """Process generator: lookup, download proxy, bind (steps 2-5)."""
+        """Process generator: lookup, download proxy, bind (steps 2-5).
+
+        Traced as a ``client_connect`` span with ``lookup`` and ``bind``
+        children (the latter fanning out into ``access`` → ``plan`` /
+        ``deploy`` → ``install`` spans) — together the one-time cost
+        timeline of Figure 1 / §4.2.
+        """
+        tracer = self.obs.tracer
         t0 = self.sim.now
         name = service or next(iter(self._bundles))
-        proxy = yield from self.lookup.lookup(client_node, name=name)
-        lookup_ms = self.sim.now - t0
-        service_proxy = yield from proxy.bind(
-            context=context, request_rate=request_rate, algorithm=algorithm
+        span = tracer.start_span(
+            "client_connect", client_node=client_node, service=name
         )
+        try:
+            lookup_span = tracer.start_span(
+                "lookup", parent=span, client_node=client_node
+            )
+            proxy = yield from self.lookup.lookup(client_node, name=name)
+            lookup_span.finish()
+            lookup_ms = self.sim.now - t0
+            service_proxy = yield from proxy.bind(
+                context=context,
+                request_rate=request_rate,
+                algorithm=algorithm,
+                parent_span=span,
+            )
+        except BaseException as exc:
+            span.finish(status="error", error=repr(exc))
+            raise
         assert proxy.bind_record is not None
         proxy.bind_record.lookup_ms = lookup_ms
+        span.finish(total_ms=self.sim.now - t0)
+        m = self.obs.metrics
+        if m.enabled:
+            m.inc("smock.client_connects", 1, service=name)
+            m.observe("smock.connect_sim_ms", self.sim.now - t0, service=name)
+            m.observe("smock.lookup_sim_ms", lookup_ms, service=name)
         return service_proxy
 
     def deploy_manual(

@@ -71,6 +71,7 @@ class GenericServer:
         interface: str,
         request_rate: float = 0.0,
         algorithm: Optional[str] = None,
+        parent_span: Any = None,
     ) -> Generator[Any, Any, AccessRecord]:
         """Process generator: plan + deploy for one client request.
 
@@ -81,22 +82,54 @@ class GenericServer:
         runtime = self.runtime
         sim = runtime.sim
         bundle = self.bundle if self.bundle is not None else runtime.primary
+        tracer = runtime.obs.tracer
+        access_span = tracer.start_span(
+            "access",
+            parent=parent_span,
+            client_node=client_node,
+            server_node=self.host_node,
+            interface=interface,
+        )
 
         # Step 4: compute the partitioning.  Planning runs on this host.
         t0 = sim.now
-        yield from runtime.transport.node(self.host_node).execute(self.planning_work)
-        request = PlanRequest(
-            interface=interface,
-            client_node=client_node,
-            context=dict(context),
-            request_rate=request_rate,
+        plan_span = tracer.start_span(
+            "plan", parent=access_span, server_node=self.host_node
         )
-        plan = bundle.planner.plan(request, algorithm=algorithm)
+        try:
+            yield from runtime.transport.node(self.host_node).execute(
+                self.planning_work
+            )
+            request = PlanRequest(
+                interface=interface,
+                client_node=client_node,
+                context=dict(context),
+                request_rate=request_rate,
+            )
+            # attach(): the planner's own span becomes a child of "plan".
+            with tracer.attach(plan_span):
+                plan = bundle.planner.plan(request, algorithm=algorithm)
+        except BaseException as exc:
+            plan_span.finish(status="error", error=repr(exc))
+            access_span.finish(status="error", error=repr(exc))
+            raise
         planning_ms = sim.now - t0
+        plan_span.finish(planning_ms=planning_ms)
 
         # Step 5: deploy components via the node wrappers.
-        record = yield from runtime.deployer.execute(plan, bundle)
+        try:
+            record = yield from runtime.deployer.execute(
+                plan, bundle, parent_span=access_span
+            )
+        except BaseException as exc:
+            access_span.finish(status="error", error=repr(exc))
+            raise
         bundle.planner.commit(plan, request_rate)
+        access_span.finish()
+        m = runtime.obs.metrics
+        if m.enabled:
+            m.inc("smock.accesses", 1, server_node=self.host_node)
+            m.observe("smock.planning_sim_ms", planning_ms)
 
         access = AccessRecord(
             client_node=client_node,

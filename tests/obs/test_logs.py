@@ -1,0 +1,69 @@
+"""Logging: plain output parity, JSON formatting, stream routing."""
+
+import io
+import json
+import logging
+
+from repro.obs import configure_logging, get_logger
+
+
+def teardown_function(_fn):
+    # Leave only the library NullHandler behind for other tests.
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_managed", False):
+            root.removeHandler(handler)
+
+
+def test_get_logger_namespacing():
+    assert get_logger().name == "repro"
+    assert get_logger("cli").name == "repro.cli"
+
+
+def test_plain_output_matches_print():
+    buf = io.StringIO()
+    configure_logging(stream=buf)
+    get_logger("cli").info("hello %s", "world")
+    assert buf.getvalue() == "hello world\n"
+
+
+def test_json_output_is_one_object_per_line():
+    buf = io.StringIO()
+    configure_logging(json_output=True, stream=buf)
+    get_logger("cli").info("planned", extra={"fields": {"site": "sandiego"}})
+    get_logger("cli").warning("slow")
+    lines = buf.getvalue().splitlines()
+    first = json.loads(lines[0])
+    assert first["msg"] == "planned"
+    assert first["level"] == "INFO"
+    assert first["logger"] == "repro.cli"
+    assert first["fields"] == {"site": "sandiego"}
+    assert json.loads(lines[1])["level"] == "WARNING"
+
+
+def test_errors_route_to_stderr_only(monkeypatch):
+    out, err = io.StringIO(), io.StringIO()
+    monkeypatch.setattr("sys.stdout", out)
+    configure_logging(err_stream=err)
+    log = get_logger("cli")
+    log.info("fine")
+    log.error("broken")
+    assert out.getvalue() == "fine\n"
+    assert err.getvalue() == "broken\n"
+
+
+def test_reconfigure_is_idempotent():
+    buf = io.StringIO()
+    configure_logging(stream=buf)
+    configure_logging(stream=buf)
+    get_logger().info("once")
+    assert buf.getvalue() == "once\n"  # not duplicated by stacked handlers
+
+
+def test_level_filtering():
+    buf = io.StringIO()
+    configure_logging(level="WARNING", stream=buf)
+    log = get_logger("cli")
+    log.info("hidden")
+    log.warning("shown")
+    assert buf.getvalue() == "shown\n"

@@ -1,0 +1,116 @@
+"""Span lifecycle: nesting, ordering, dual clocks, disabled mode."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, Observability, Tracer
+
+
+def test_span_nesting_and_ordering():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            pass
+        with tracer.span("inner2") as inner2:
+            pass
+
+    spans = tracer.recorder.spans()
+    # Children finish before their parent; order is finish order.
+    assert [s["name"] for s in spans] == ["inner", "inner2", "outer"]
+    by_name = {s["name"]: s for s in spans}
+    assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["inner2"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["outer"]["parent_id"] is None
+    assert inner.span_id != inner2.span_id
+
+
+def test_explicit_parenting_survives_interleaving():
+    """Generator-style code passes parents explicitly; two interleaved
+    logical requests must not adopt each other's spans."""
+    tracer = Tracer()
+    a = tracer.start_span("request_a")
+    b = tracer.start_span("request_b")
+    a_child = tracer.start_span("step", parent=a)
+    b_child = tracer.start_span("step", parent=b)
+    a_child.finish()
+    b_child.finish()
+    a.finish()
+    b.finish()
+
+    spans = tracer.recorder.spans("step")
+    assert {s["parent_id"] for s in spans} == {a.span_id, b.span_id}
+
+
+def test_attach_bridges_explicit_span_to_stack():
+    tracer = Tracer()
+    explicit = tracer.start_span("deploy")
+    with tracer.attach(explicit):
+        with tracer.span("planner.plan"):
+            pass
+    explicit.finish()
+    inner = tracer.recorder.spans("planner.plan")[0]
+    assert inner["parent_id"] == explicit.span_id
+
+
+def test_wall_and_sim_durations():
+    tracer = Tracer()
+    clock = [100.0]
+    tracer.bind_sim_clock(lambda: clock[0])
+    span = tracer.start_span("op")
+    clock[0] = 350.0
+    span.finish()
+    rec = tracer.recorder.spans("op")[0]
+    assert rec["sim_start_ms"] == 100.0
+    assert rec["sim_ms"] == pytest.approx(250.0)
+    assert rec["wall_ms"] >= 0.0
+    # The two clocks are independent: wall time is real, sim time virtual.
+    assert rec["wall_ms"] < 250.0
+
+
+def test_no_sim_clock_means_no_sim_fields():
+    tracer = Tracer()
+    tracer.start_span("op").finish()
+    rec = tracer.recorder.spans("op")[0]
+    assert "sim_ms" not in rec and "sim_start_ms" not in rec
+
+
+def test_error_status_from_context_manager():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("boom"):
+            raise ValueError("nope")
+    assert tracer.recorder.spans("boom")[0]["status"] == "error"
+
+
+def test_finish_is_idempotent():
+    tracer = Tracer()
+    span = tracer.start_span("once")
+    span.finish()
+    span.finish()
+    assert len(tracer.recorder.spans("once")) == 1
+
+
+def test_disabled_tracer_returns_null_span():
+    tracer = Tracer(enabled=False)
+    span = tracer.start_span("ignored", parent=None, key="value")
+    assert span is NULL_SPAN
+    span.set(more="attrs").finish(status="error")
+    with tracer.span("also-ignored"):
+        pass
+    assert len(tracer.recorder) == 0
+
+
+def test_point_events_carry_sim_time():
+    tracer = Tracer()
+    tracer.bind_sim_clock(lambda: 42.0)
+    tracer.event("sim.dispatch", event="<Timeout>")
+    ev = tracer.recorder.events("sim.dispatch")[0]
+    assert ev["sim_ms"] == 42.0
+    assert ev["attrs"]["event"] == "<Timeout>"
+
+
+def test_observability_bundle_wiring():
+    obs = Observability()
+    assert obs.tracer.recorder is obs.recorder
+    assert obs.enabled
+    off = Observability(tracing=False, metrics=False)
+    assert not off.enabled
