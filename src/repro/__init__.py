@@ -22,6 +22,8 @@ they rest on:
 - :mod:`repro.sim` — the deterministic discrete-event substrate
   standing in for the paper's Pentium III + Click-router testbed.
 - :mod:`repro.trust` — dRBAC-style trust management (§6 extension).
+- :mod:`repro.faults` — fault injection, heartbeat failure detection,
+  and the self-healing failover loop built on the §6 replanner.
 - :mod:`repro.services` — the mail case study (§2, §4) and a
   QoS-sensitive video service.
 - :mod:`repro.experiments` — the Figure 5/6/7 and one-time-cost
@@ -41,7 +43,7 @@ Quick start::
     }))
 """
 
-from . import coherence, network, planner, sim, smock, spec, trust
+from . import coherence, faults, network, planner, sim, smock, spec, trust
 from .network import Network
 from .planner import DeploymentPlan, Planner, PlanningError, PlanRequest
 from .sim import Simulator
@@ -59,6 +61,7 @@ __all__ = [
     "network",
     "sim",
     "trust",
+    "faults",
     "ServiceSpec",
     "parse_service",
     "Planner",

@@ -159,6 +159,13 @@ def cmd_mail(args: argparse.Namespace) -> int:
     sites = args.sites
     users = list(DEFAULT_USERS)
 
+    replanner = None
+    if args.chaos:
+        replanner = runtime.enable_self_healing(
+            heartbeat_interval_ms=args.heartbeat_interval,
+            miss_threshold=args.miss_threshold,
+        )
+
     proxies = []
     for i, site in enumerate(sites):
         node = testbed.client_nodes(site)[0]
@@ -177,6 +184,15 @@ def cmd_mail(args: argparse.Namespace) -> int:
             f"(lookup {record.lookup_ms:.1f}, planning {record.planning_ms:.1f}, "
             f"deployment {record.deployment_ms:.1f})"
         )
+        if replanner is not None:
+            from .smock import RetryPolicy
+
+            proxy.retry_policy = RetryPolicy(
+                timeout_ms=args.retry_timeout,
+                max_retries=args.max_retries,
+                seed=args.seed,
+            )
+            replanner.track_access(proxy, runtime.generic_server.accesses[-1])
         proxies.append((site, user, proxy))
 
     peers = [user for _s, user, _p in proxies]
@@ -193,19 +209,70 @@ def cmd_mail(args: argparse.Namespace) -> int:
             (site, user, runtime.sim.process(mail_workload(proxy, config),
                                              name=f"workload:{user}"))
         )
-    runtime.sim.run()
+
+    if replanner is None:
+        runtime.sim.run()
+    else:
+        # Chaos run: fault times are relative to workload start.
+        import dataclasses
+
+        from .faults import FaultInjector, FaultPlan
+
+        t0 = runtime.sim.now
+        plan = FaultPlan(seed=args.chaos_seed)
+        for action in FaultPlan.parse(args.chaos, seed=args.chaos_seed).actions:
+            plan.add(dataclasses.replace(
+                action,
+                at_ms=action.at_ms + t0,
+                until_ms=None if action.until_ms is None
+                else action.until_ms + t0,
+            ))
+        for line in plan.describe():
+            log.info(f"chaos: {line}")
+        injector = FaultInjector(runtime, plan)
+        injector.schedule()
+        # The detector/monitor loops never drain the event list, so run
+        # in slices until every workload finishes (or gives up).
+        deadline = t0 + args.chaos_horizon
+        while (not all(p.triggered for _s, _u, p in procs)
+               and runtime.sim.now < deadline):
+            runtime.sim.run(until=min(runtime.sim.now + 5_000.0, deadline))
+        runtime.failure_detector.stop()
+        runtime.monitor.stop()
 
     for site, user, proc in procs:
+        if not proc.triggered:
+            log.error(f"{site}: {user} workload did not finish")
+            continue
+        if proc.failed:
+            log.error(f"{site}: {user} workload failed: {proc.value!r}")
+            continue
         result = proc.value
+        errors = f", {len(result.errors)} errors" if result.errors else ""
         log.info(
             f"{site}: {user} mean send {result.mean_send_ms:8.2f} ms, "
-            f"mean receive {result.mean_receive_ms:8.2f} ms"
+            f"mean receive {result.mean_receive_ms:8.2f} ms{errors}"
         )
     stats = runtime.coherence.stats
     log.info(
         f"coherence: {stats.local_updates} local updates, {stats.syncs} flushes, "
         f"{stats.invalidations} invalidations, {stats.stale_reads} stale reads"
     )
+    if replanner is not None:
+        detector = runtime.failure_detector
+        rounds = [e for e in replanner.events if not e.deferred]
+        rebinds = sum(len(e.rebound) for e in rounds)
+        retries = sum(p.retries for _s, _u, p in proxies)
+        timeouts = sum(p.timeouts for _s, _u, p in proxies)
+        log.info(
+            f"failover: {detector.failures_detected} failures detected, "
+            f"{detector.recoveries_detected} recoveries, {len(rounds)} replan "
+            f"rounds, {rebinds} client rebinds"
+        )
+        log.info(
+            f"          {retries} retries, {timeouts} request timeouts, "
+            f"{stats.lost_updates} lost updates ({stats.lost_units} units)"
+        )
     log.info(f"simulated time: {runtime.sim.now:.1f} ms")
     return 0
 
@@ -284,6 +351,30 @@ def main(argv=None) -> int:
                         '"write_through")')
     p.add_argument("--algorithm", default="dp_chain",
                    choices=["exhaustive", "dp_chain", "partial_order"])
+    chaos = p.add_argument_group("chaos")
+    chaos.add_argument("--chaos", action="append", metavar="SPEC", default=[],
+                       help="inject a fault (repeatable); SPEC is e.g. "
+                            '"crash:sandiego-gw@2000", "restart:NODE@T", '
+                            '"partition:A/B@T", "heal:A/B@T", '
+                            '"drop:A/B:P@T1-T2", "delay:A/B:MS@T1-T2"; times '
+                            "are ms after workload start. Enables heartbeat "
+                            "failure detection, failover replanning, and "
+                            "client retry.")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="RNG seed for probabilistic faults")
+    chaos.add_argument("--chaos-horizon", type=float, default=600_000.0,
+                       help="give up on unfinished workloads after this many "
+                            "simulated ms")
+    chaos.add_argument("--heartbeat-interval", type=float, default=250.0,
+                       help="failure-detector ping interval (sim ms)")
+    chaos.add_argument("--miss-threshold", type=int, default=3,
+                       help="consecutive missed heartbeats before a node is "
+                            "declared dead")
+    chaos.add_argument("--retry-timeout", type=float, default=3000.0,
+                       help="per-attempt client request timeout (sim ms)")
+    chaos.add_argument("--max-retries", type=int, default=15,
+                       help="retry budget per request; size it to outlive "
+                            "the longest outage in the fault plan")
     p.set_defaults(fn=cmd_mail)
 
     args = parser.parse_args(argv)

@@ -50,6 +50,11 @@ class CoherenceStats:
     conflict_map_hits: int = 0
     #: reads a replica had to forward upstream because its copy was stale
     stale_reads: int = 0
+    #: buffered (client-acked but not yet propagated) updates discarded
+    #: because their replica's host crashed — the write-back protocol's
+    #: durability gap, surfaced instead of silently swallowed
+    lost_updates: int = 0
+    lost_units: int = 0
 
 
 @dataclass
@@ -169,6 +174,26 @@ class CoherenceDirectory:
             m.inc("coherence.flushes", 1, policy=policy)
             m.inc("coherence.messages_propagated", messages, policy=policy)
             m.inc("coherence.bytes_propagated", size, policy=policy)
+
+    def report_lost(self, replica_id: int) -> Tuple[List[Update], int]:
+        """Discard a dead replica's dirty buffer, accounting it as lost.
+
+        Called during failover reconciliation when the replica's host
+        crashed before its flush policy fired: those updates were acked
+        to clients but never propagated, and fail-stop semantics mean
+        they are unrecoverable.  Returns (batch, units) so callers can
+        report exactly what was lost.
+        """
+        entry = self._replicas.get(replica_id)
+        if entry is None or not entry.pending:
+            return [], 0
+        batch, units = self.drain(replica_id)
+        self.stats.lost_updates += len(batch)
+        self.stats.lost_units += units
+        self.obs.metrics.inc(
+            "coherence.lost_updates", len(batch), family=entry.family
+        )
+        return batch, units
 
     def requeue(self, replica_id: int, batch: List[Update]) -> None:
         """Put a batch back after a failed propagation attempt."""

@@ -1,0 +1,30 @@
+"""Fault injection, failure detection, and chaos tooling.
+
+The paper assumes a static, reliable environment; this package supplies
+the failure model needed to study the framework's §6 adaptation loop
+under infrastructure faults:
+
+- :class:`FaultPlan` / :class:`FaultAction` — declarative, seeded fault
+  schedules (node crash/restart, link partition/heal, probabilistic
+  message drop, added delay), parseable from a compact CLI syntax;
+- :class:`FaultInjector` — executes a plan against the live simulation
+  (ground truth only — planner belief is never touched);
+- :class:`FailureDetector` — heartbeat-based detection feeding
+  :class:`FailureEvent` transitions into the network monitor, which the
+  replan manager turns into failover redeployments.
+"""
+
+from .detector import HEARTBEAT_BYTES, FailureDetector, FailureEvent
+from .injector import FaultInjector
+from .plan import FaultAction, FaultKind, FaultPlan, FaultPlanError
+
+__all__ = [
+    "FaultPlan",
+    "FaultAction",
+    "FaultKind",
+    "FaultPlanError",
+    "FaultInjector",
+    "FailureDetector",
+    "FailureEvent",
+    "HEARTBEAT_BYTES",
+]

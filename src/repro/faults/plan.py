@@ -1,0 +1,168 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultAction` items on
+the simulated timeline — the chaos script of an experiment.  Plans are
+data (inspectable, hashable into reports) and can be parsed from the
+compact CLI syntax::
+
+    crash:sandiego-gw@2000          # fail-stop the node at t=2000ms
+    restart:sandiego-gw@6000        # bring it back (empty) at t=6000ms
+    partition:newyork-gw/newyork-ms@1000    # sever the link
+    heal:newyork-gw/newyork-ms@4000         # restore it
+    drop:sandiego-gw/sandiego-client1:0.3@1000-5000   # lose 30% of
+                                    # messages on the link in [1s, 5s)
+    delay:sandiego-gw/sandiego-client1:25@1000-5000   # +25ms per message
+
+Injection itself is performed by :class:`repro.faults.FaultInjector`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["FaultKind", "FaultAction", "FaultPlan", "FaultPlanError"]
+
+
+class FaultPlanError(ValueError):
+    """Malformed fault specification."""
+
+
+class FaultKind:
+    """The supported fault vocabulary (plain strings, not an enum, so
+    plans serialize trivially into benchmark reports)."""
+
+    CRASH = "crash"
+    RESTART = "restart"
+    PARTITION = "partition"
+    HEAL = "heal"
+    DROP = "drop"
+    DELAY = "delay"
+
+    ALL = (CRASH, RESTART, PARTITION, HEAL, DROP, DELAY)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault.
+
+    ``node`` is set for crash/restart; ``link`` for the rest.  ``at_ms``
+    is the injection instant; window faults (drop/delay) also carry
+    ``until_ms``.  ``magnitude`` is the drop probability in [0, 1] or
+    the added delay in ms.
+    """
+
+    kind: str
+    at_ms: float
+    node: Optional[str] = None
+    link: Optional[Tuple[str, str]] = None
+    until_ms: Optional[float] = None
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FaultKind.ALL:
+            raise FaultPlanError(f"unknown fault kind {self.kind!r}")
+        if self.kind in (FaultKind.CRASH, FaultKind.RESTART):
+            if not self.node:
+                raise FaultPlanError(f"{self.kind} fault needs a node")
+        elif self.link is None:
+            raise FaultPlanError(f"{self.kind} fault needs a link")
+        if self.kind in (FaultKind.DROP, FaultKind.DELAY):
+            if self.until_ms is None or self.until_ms <= self.at_ms:
+                raise FaultPlanError(
+                    f"{self.kind} fault needs a window: T1-T2 with T2 > T1"
+                )
+        if self.kind == FaultKind.DROP and not 0.0 <= self.magnitude <= 1.0:
+            raise FaultPlanError(
+                f"drop probability must be in [0, 1], got {self.magnitude}"
+            )
+        if self.kind == FaultKind.DELAY and self.magnitude < 0:
+            raise FaultPlanError(f"negative delay: {self.magnitude}")
+
+    @property
+    def subject(self) -> str:
+        return self.node if self.node else "<->".join(self.link)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        window = (
+            f"@{self.at_ms:.0f}-{self.until_ms:.0f}"
+            if self.until_ms is not None
+            else f"@{self.at_ms:.0f}"
+        )
+        mag = f":{self.magnitude:g}" if self.kind in (FaultKind.DROP, FaultKind.DELAY) else ""
+        subject = self.node if self.node else "/".join(self.link)  # type: ignore[arg-type]
+        return f"{self.kind}:{subject}{mag}{window}"
+
+
+@dataclass
+class FaultPlan:
+    """An ordered fault schedule plus the RNG seed for stochastic faults."""
+
+    actions: List[FaultAction] = field(default_factory=list)
+    seed: int = 0
+
+    def add(self, action: FaultAction) -> "FaultPlan":
+        self.actions.append(action)
+        return self
+
+    def sorted_actions(self) -> List[FaultAction]:
+        return sorted(self.actions, key=lambda a: a.at_ms)
+
+    def describe(self) -> List[str]:
+        return [a.describe() for a in self.sorted_actions()]
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    # -- parsing -----------------------------------------------------------
+    @classmethod
+    def parse(cls, specs: Sequence[str], seed: int = 0) -> "FaultPlan":
+        """Build a plan from CLI-style specs (see module docstring)."""
+        plan = cls(seed=seed)
+        for spec in specs:
+            plan.add(cls.parse_action(spec))
+        return plan
+
+    @staticmethod
+    def parse_action(spec: str) -> FaultAction:
+        text = spec.strip()
+        head, sep, when = text.rpartition("@")
+        if not sep:
+            raise FaultPlanError(f"{spec!r}: missing '@time'")
+        try:
+            if "-" in when:
+                t1_s, t2_s = when.split("-", 1)
+                at_ms, until_ms = float(t1_s), float(t2_s)
+            else:
+                at_ms, until_ms = float(when), None
+        except ValueError:
+            raise FaultPlanError(f"{spec!r}: bad time {when!r}") from None
+
+        parts = head.split(":")
+        kind = parts[0]
+        if kind in (FaultKind.CRASH, FaultKind.RESTART):
+            if len(parts) != 2:
+                raise FaultPlanError(f"{spec!r}: expected {kind}:NODE@T")
+            return FaultAction(kind=kind, at_ms=at_ms, node=parts[1])
+        if kind in (FaultKind.PARTITION, FaultKind.HEAL):
+            if len(parts) != 2 or "/" not in parts[1]:
+                raise FaultPlanError(f"{spec!r}: expected {kind}:A/B@T")
+            a, b = parts[1].split("/", 1)
+            return FaultAction(kind=kind, at_ms=at_ms, link=(a, b))
+        if kind in (FaultKind.DROP, FaultKind.DELAY):
+            if len(parts) != 3 or "/" not in parts[1]:
+                raise FaultPlanError(
+                    f"{spec!r}: expected {kind}:A/B:MAGNITUDE@T1-T2"
+                )
+            a, b = parts[1].split("/", 1)
+            try:
+                magnitude = float(parts[2])
+            except ValueError:
+                raise FaultPlanError(f"{spec!r}: bad magnitude {parts[2]!r}") from None
+            return FaultAction(
+                kind=kind, at_ms=at_ms, link=(a, b),
+                until_ms=until_ms, magnitude=magnitude,
+            )
+        raise FaultPlanError(
+            f"{spec!r}: unknown fault kind {kind!r} (one of {FaultKind.ALL})"
+        )

@@ -127,6 +127,22 @@ class NetworkMonitor:
         """Run ``fn`` (which should call perturb_*) at simulated time."""
         self.sim.call_at(at_ms, fn)
 
+    # -- external event injection (failure detectors) -------------------------
+    def report(self, change: ChangeEvent) -> None:
+        """Inject an externally-observed change (e.g. a heartbeat-based
+        failure detection) into the subscriber stream.
+
+        The change is folded into the monitor's snapshot first, so a
+        subsequent poll does not re-observe (and re-dispatch) the same
+        fact — one observed transition, one event, regardless of how
+        many observation channels saw it.
+        """
+        key = (change.kind, change.subject, change.attribute)
+        if self._snapshot.get(key) == change.new:
+            return  # already known: duplicate observation, suppressed
+        self._snapshot[key] = change.new
+        self._dispatch([change])
+
     # -- polling loop ---------------------------------------------------------
     def start(self) -> None:
         """Begin periodic polling as a simulation process."""
@@ -144,13 +160,38 @@ class NetworkMonitor:
             self.poll()
 
     def poll(self) -> List[ChangeEvent]:
-        """One observation round; returns (and dispatches) changes."""
-        changes = self._take_snapshot(initial=False)
+        """One observation round; returns (and dispatches) changes.
+
+        Changes are *coalesced* within the round: at most one event per
+        (kind, subject, attribute), carrying the first old value and the
+        last new one, and events whose old and new values are equal (a
+        perturbation that round-tripped inside the observation window)
+        are dropped entirely — subscribers never fire on a no-op.
+        """
+        changes = self._coalesce(self._take_snapshot(initial=False))
+        self._dispatch(changes)
+        return changes
+
+    def _dispatch(self, changes: List[ChangeEvent]) -> None:
         for change in changes:
             self.history.append(change)
             for fn in list(self._subscribers):
                 fn(change)
-        return changes
+
+    @staticmethod
+    def _coalesce(changes: List[ChangeEvent]) -> List[ChangeEvent]:
+        merged: Dict[Tuple[str, str, str], ChangeEvent] = {}
+        for change in changes:
+            key = (change.kind, change.subject, change.attribute)
+            prior = merged.get(key)
+            if prior is None:
+                merged[key] = change
+            else:  # keep first old, last new
+                merged[key] = ChangeEvent(
+                    change.time_ms, change.kind, change.subject,
+                    change.attribute, prior.old, change.new,
+                )
+        return [c for c in merged.values() if c.old != c.new]
 
     def _take_snapshot(self, initial: bool) -> List[ChangeEvent]:
         now = self.sim.now
@@ -160,9 +201,13 @@ class NetworkMonitor:
             current[(*base, "latency_ms")] = link.latency_ms
             current[(*base, "bandwidth_mbps")] = link.bandwidth_mbps
             current[(*base, "secure")] = link.secure
+            current[(*base, "up")] = link.up
         for node in self.network.nodes():
             base = ("node", node.name)
             current[(*base, "cpu_capacity")] = node.cpu_capacity
+            # Node *liveness* is deliberately not polled: a crashed host
+            # is observable only through missed heartbeats (see
+            # repro.faults.detector), never by inspecting sim state.
             for key, val in node.credentials.items():
                 current[(*base, f"credential:{key}")] = val
 

@@ -43,6 +43,10 @@ class NodeInfo:
     #: remaining CPU budget, in work-units/sec, decremented as the
     #: planner commits components (condition 3).
     reserved_cpu: float = 0.0
+    #: believed liveness — flipped by failure detectors, not by fault
+    #: injection, so the planner's view lags reality by the detection
+    #: latency (exactly as a real deployment's would).
+    up: bool = True
 
     @property
     def free_cpu(self) -> float:
@@ -54,6 +58,7 @@ class NodeInfo:
             cpu_capacity=self.cpu_capacity,
             credentials=dict(self.credentials),
             reserved_cpu=self.reserved_cpu,
+            up=self.up,
         )
 
 
@@ -68,6 +73,10 @@ class LinkInfo:
     secure: bool = True
     credentials: Dict[str, Any] = field(default_factory=dict)
     reserved_mbps: float = 0.0
+    #: liveness — a partitioned link is invisible to routing (traffic
+    #: reroutes immediately, as IP would) but stays in the graph so the
+    #: monitor can observe the outage and replanning can react.
+    up: bool = True
 
     @property
     def name(self) -> str:
@@ -89,6 +98,7 @@ class LinkInfo:
             secure=self.secure,
             credentials=dict(self.credentials),
             reserved_mbps=self.reserved_mbps,
+            up=self.up,
         )
 
 
@@ -223,6 +233,23 @@ class Network:
         """Record an external attribute mutation (e.g. by a monitor)."""
         self._invalidate()
 
+    # -- liveness (fault tolerance layer) ---------------------------------
+    def set_link_up(self, a: str, b: str, up: bool) -> LinkInfo:
+        """Partition/heal a link; routing reacts immediately."""
+        info = self.link(a, b)
+        if info.up != up:
+            info.up = up
+            self._invalidate()
+        return info
+
+    def set_node_up(self, name: str, up: bool) -> NodeInfo:
+        """Record believed node liveness (failure detectors call this)."""
+        info = self.node(name)
+        if info.up != up:
+            info.up = up
+            self._invalidate()
+        return info
+
     # -- lookup ----------------------------------------------------------
     def node(self, name: str) -> NodeInfo:
         try:
@@ -267,7 +294,11 @@ class Network:
     def path(self, src: str, dst: str) -> PathInfo:
         """Lowest-latency path from ``src`` to ``dst`` (Dijkstra, cached).
 
-        Raises :class:`NetworkError` if disconnected.
+        Partitioned links and believed-dead intermediate nodes are
+        invisible to routing.  The endpoints themselves are *not*
+        liveness-checked: a message may be routed toward a crashed host
+        (and fail there) exactly as IP would carry it.  Raises
+        :class:`NetworkError` if disconnected.
         """
         if src not in self._nodes:
             raise NetworkError(f"unknown node {src!r}")
@@ -289,9 +320,13 @@ class Network:
                 break
             if d > dist.get(u, float("inf")):
                 continue
+            if u != src and not self._nodes[u].up:
+                continue  # dead routers forward nothing
             for v in self._adj[u]:
-                w = self._links[_link_key(u, v)].latency_ms
-                nd = d + w
+                link = self._links[_link_key(u, v)]
+                if not link.up:
+                    continue
+                nd = d + link.latency_ms
                 if nd < dist.get(v, float("inf")):
                     dist[v] = nd
                     prev[v] = u

@@ -107,7 +107,15 @@ class PlanningContext:
         node: str,
         context: Optional[Mapping[str, Any]] = None,
     ) -> bool:
-        """Can ``unit`` be instantiated on ``node`` (install conditions)?"""
+        """Can ``unit`` be instantiated on ``node`` (install conditions)?
+
+        A node the failure detector has declared dead hosts nothing —
+        this is the single gate through which every search algorithm's
+        candidate enumeration excludes failed hosts during failover
+        replanning.
+        """
+        if not self.network.node(node).up:
+            return False
         env = self.node_env(node, context)
         return unit.installable_in(env)
 

@@ -55,9 +55,27 @@ class _StoreBase(RuntimeComponent):
         super().__init__(*args, **kwargs)
         self.store = MailStore(self._sensitivity_bound())
         self.keyrings: Dict[str, KeyRing] = {}
+        #: idempotency key -> response of the attempt that applied it.
+        #: A retried store (client timeout raced a slow success, or a
+        #: failover re-sent through a new chain) replays the recorded
+        #: response instead of storing the message twice.
+        self._applied: Dict[str, ServiceResponse] = {}
+        self.duplicates_suppressed = 0
 
     def _sensitivity_bound(self) -> Optional[int]:
         return None
+
+    def _replay(self, key: Optional[str]) -> Optional[ServiceResponse]:
+        if key is None:
+            return None
+        resp = self._applied.get(key)
+        if resp is not None:
+            self.duplicates_suppressed += 1
+        return resp
+
+    def _record_applied(self, key: Optional[str], resp: ServiceResponse) -> None:
+        if key is not None and resp.ok:
+            self._applied[key] = resp
 
     def on_linked(self) -> None:
         """Provision the service's account roster on this store.
@@ -123,9 +141,14 @@ class MailServerComponent(_StoreBase):
     """The primary mail server (Figure 2's ``MailServer``)."""
 
     def op_store_message(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        cached = self._replay(req.idempotency_key)
+        if cached is not None:
+            return cached
         msg = self._transform_to_recipient(req.payload)
         self.store.store(msg)
-        return ServiceResponse(payload={"msg_id": msg.msg_id}, size_bytes=256)
+        resp = ServiceResponse(payload={"msg_id": msg.msg_id}, size_bytes=256)
+        self._record_applied(req.idempotency_key, resp)
+        return resp
         yield  # pragma: no cover - generator marker
 
     def op_fetch_mail(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
@@ -134,11 +157,24 @@ class MailServerComponent(_StoreBase):
         yield  # pragma: no cover - generator marker
 
     def op_sync_batch(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
-        """Apply a replica's write-back batch; fan out invalidations."""
+        """Apply a replica's write-back batch; fan out invalidations.
+
+        Updates carrying an idempotency key already applied here (e.g.
+        a client retried through a fresh failover chain while the old
+        replica's buffer was still in flight) are skipped.
+        """
         messages: List[StoredMessage] = req.payload["messages"]
         updates: List[Update] = req.payload["updates"]
-        for msg in messages:
+        for msg, update in zip(messages, updates):
+            key = update.attr("idempotency_key")
+            if key is not None and key in self._applied:
+                self.duplicates_suppressed += 1
+                continue
             self.store.store(msg)
+            if key is not None:
+                self._applied[key] = ServiceResponse(
+                    payload={"msg_id": msg.msg_id}, size_bytes=256
+                )
         self.coherence.broadcast_invalidations(
             family=self.unit.name,
             batch=updates,
@@ -321,6 +357,9 @@ class ViewMailServerComponent(_StoreBase):
 
     # -- operations -----------------------------------------------------------------
     def op_store_message(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
+        cached = self._replay(req.idempotency_key)
+        if cached is not None:
+            return cached
         sensitivity = int(req.payload["sensitivity"])
         multiplicity = int(req.payload.get("multiplicity", 1))
         if not self.store.accepts(sensitivity):
@@ -331,12 +370,16 @@ class ViewMailServerComponent(_StoreBase):
         msg = self._transform_to_recipient(req.payload)
         self.store.store(msg)
         assert self.replica_id is not None
+        # The idempotency key rides in the update so every upstream store
+        # the batch reaches can suppress a copy the client's retry
+        # already applied there directly.
         update = Update(
             op="store_message",
             attributes={
                 "recipient": msg.recipient,
                 "sensitivity": msg.sensitivity,
                 "message": msg,
+                "idempotency_key": req.idempotency_key,
             },
             size_bytes=msg.size_bytes,
             multiplicity=multiplicity,
@@ -349,7 +392,9 @@ class ViewMailServerComponent(_StoreBase):
             # Write-back reconciliation blocks the triggering request —
             # the source of the DS500/DS1000 group separation in Fig. 7.
             yield from self._sync()
-        return ServiceResponse(payload={"msg_id": msg.msg_id}, size_bytes=256)
+        resp = ServiceResponse(payload={"msg_id": msg.msg_id}, size_bytes=256)
+        self._record_applied(req.idempotency_key, resp)
+        return resp
 
     def op_fetch_mail(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
         user, since_id, max_s = self._fetch_args(req)
@@ -385,15 +430,27 @@ class ViewMailServerComponent(_StoreBase):
         return resp
 
     def op_sync_batch(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
-        """A downstream replica reconciles through us: apply, then chain."""
+        """A downstream replica reconciles through us: apply, then chain.
+
+        Updates whose idempotency key was already applied at this store
+        are dropped outright — our own buffered copy (recorded when the
+        key first applied) is already on its way upstream.
+        """
         messages: List[StoredMessage] = req.payload["messages"]
         updates: List[Update] = req.payload["updates"]
-        for msg in messages:
-            if self.store.accepts(msg.sensitivity):
-                self.store.store(msg)
         assert self.replica_id is not None
         must_flush = False
         for msg, update in zip(messages, updates):
+            key = update.attr("idempotency_key")
+            if key is not None and key in self._applied:
+                self.duplicates_suppressed += 1
+                continue
+            if self.store.accepts(msg.sensitivity):
+                self.store.store(msg)
+            if key is not None:
+                self._applied[key] = ServiceResponse(
+                    payload={"msg_id": msg.msg_id}, size_bytes=256
+                )
             chained = Update(
                 op=update.op,
                 attributes={**dict(update.attributes), "message": msg},

@@ -11,7 +11,16 @@ router) with a deterministic, seeded simulator.  Public surface:
 """
 
 from .engine import Simulator
-from .events import AllOf, AnyOf, Event, SimulationError, Timeout
+from .events import (
+    AllOf,
+    AnyOf,
+    Event,
+    FaultError,
+    LinkDownError,
+    NodeDownError,
+    SimulationError,
+    Timeout,
+)
 from .node import SimNode
 from .process import Interrupt, Process
 from .resources import Monitor, Resource, Store
@@ -24,6 +33,9 @@ __all__ = [
     "AnyOf",
     "AllOf",
     "SimulationError",
+    "FaultError",
+    "NodeDownError",
+    "LinkDownError",
     "Process",
     "Interrupt",
     "Resource",

@@ -178,7 +178,13 @@ class Simulator:
         return self._now
 
     def run_until_complete(self, proc: Process, limit: float = float("inf")) -> Any:
-        """Run until ``proc`` finishes; return its value (raise if it failed)."""
+        """Run until ``proc`` finishes; return its value (raise if it failed).
+
+        A failing process re-raises its exception annotated with the
+        process name and the simulated time of the failure — without
+        this, a chaos-test stack trace says *what* broke but not *who*
+        or *when* on the virtual clock.
+        """
         while not proc.triggered:
             if not self._heap:
                 raise SimulationError(
@@ -188,7 +194,14 @@ class Simulator:
                 raise SimulationError(f"time limit {limit} exceeded waiting on {proc!r}")
             self.step()
         if proc.failed:
-            raise proc.value
+            exc = proc.value
+            failed_in = getattr(exc, "failed_process", proc.name)
+            failed_at = getattr(exc, "failed_at_ms", self._now)
+            note = f"in process {failed_in!r} at t={failed_at:.1f}ms"
+            if hasattr(exc, "add_note"):  # Python >= 3.11
+                exc.add_note(note)
+            exc.sim_context = note  # type: ignore[attr-defined]
+            raise exc
         return proc.value
 
     def peek(self) -> float:

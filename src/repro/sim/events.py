@@ -14,11 +14,37 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional
 
-__all__ = ["Event", "Timeout", "AnyOf", "AllOf", "SimulationError"]
+__all__ = [
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "FaultError",
+    "NodeDownError",
+    "LinkDownError",
+]
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (double trigger, running a dead sim...)."""
+
+
+class FaultError(SimulationError):
+    """A simulated infrastructure fault interfered with an operation.
+
+    Base class for the errors the fault-injection layer introduces;
+    transport stubs treat these like network errors (a failure the
+    caller may retry), never as kernel bugs.
+    """
+
+
+class NodeDownError(FaultError):
+    """The target (or executing) node is crashed."""
+
+
+class LinkDownError(FaultError):
+    """The traversed link is partitioned."""
 
 
 class Event:

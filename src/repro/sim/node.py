@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, Generator, Optional
 
 from .engine import Simulator
-from .events import Event
+from .events import Event, NodeDownError
 from .resources import Monitor, Resource
 
 __all__ = ["SimNode"]
@@ -46,6 +46,35 @@ class SimNode:
         self.stats = Monitor(f"node:{name}")
         #: components installed here by the runtime, keyed by instance id.
         self.installed: Dict[str, Any] = {}
+        #: liveness flag: a crashed node refuses CPU work and deliveries.
+        self.up = True
+        #: sim time of the most recent crash (None while healthy);
+        #: recovery metrics are measured from this instant.
+        self.crashed_at_ms: Optional[float] = None
+        self.crashes = 0
+
+    def crash(self) -> None:
+        """Fail-stop the node: volatile state is lost, work is refused.
+
+        Components installed here stop serving immediately (any job in
+        flight across the crash instant fails on its next resume); the
+        runtime-level registries are reconciled later, by failover —
+        the directory's view of this node is *supposed* to go stale
+        until a failure detector notices.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self.crashed_at_ms = self.sim.now
+        self.crashes += 1
+        self.installed.clear()
+
+    def restart(self) -> None:
+        """Bring the node back, empty: installed state did not survive."""
+        if self.up:
+            return
+        self.up = True
+        self.crashed_at_ms = None
 
     def service_time_ms(self, cpu_work: float) -> float:
         """Exclusive-CPU time, in ms, for a job of ``cpu_work`` units."""
@@ -54,13 +83,23 @@ class SimNode:
         return cpu_work / self.cpu_capacity * 1e3
 
     def execute(self, cpu_work: float) -> Generator[Event, Any, None]:
-        """Process generator: queue for the CPU, hold it, release it."""
+        """Process generator: queue for the CPU, hold it, release it.
+
+        Raises :class:`NodeDownError` if the node is crashed — checked
+        both on entry and after the service time elapses, so a crash
+        mid-execution kills the job rather than letting it complete on
+        a dead host.
+        """
+        if not self.up:
+            raise NodeDownError(f"node {self.name} is down")
         start = self.sim.now
         yield self.cpu.request()
         try:
             yield self.sim.timeout(self.service_time_ms(cpu_work))
         finally:
             self.cpu.release()
+        if not self.up:
+            raise NodeDownError(f"node {self.name} crashed during execution")
         self.stats.observe(self.sim.now - start)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

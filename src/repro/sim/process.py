@@ -98,6 +98,14 @@ class Process(Event):
             self.succeed(None)
             return
         except BaseException as exc:
+            # Stamp the failure with where/when it escaped, so the
+            # exception still names the culprit once it surfaces far
+            # from here (e.g. out of run_until_complete in a chaos test).
+            # First stamp wins: a fault rethrown up a chain of waiting
+            # processes keeps naming the process where it originated.
+            if not hasattr(exc, "failed_process"):
+                exc.failed_process = self.name  # type: ignore[attr-defined]
+                exc.failed_at_ms = self.sim.now  # type: ignore[attr-defined]
             self.fail(exc)
             return
         if not isinstance(target, Event):

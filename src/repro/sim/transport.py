@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional, Tuple
 
 from .engine import Simulator
-from .events import Event
+from .events import Event, LinkDownError
 from .resources import Monitor, Resource
 
 __all__ = ["SimLink", "transfer_time_ms", "LOCALHOST_LINK_ID"]
@@ -70,6 +70,15 @@ class SimLink:
         self._tx = {a: Resource(sim, 1), b: Resource(sim, 1)}
         self.stats = Monitor(f"link:{self.name}")
         self.bytes_carried = 0
+        #: liveness flag: a partitioned link carries no new transfers.
+        self.up = True
+
+    def fail(self) -> None:
+        """Partition the link: new transfers raise :class:`LinkDownError`."""
+        self.up = False
+
+    def heal(self) -> None:
+        self.up = True
 
     def endpoints(self) -> Tuple[str, str]:
         return (self.a, self.b)
@@ -96,7 +105,12 @@ class SimLink:
         Queues behind earlier transfers in the same direction
         (bandwidth contention), then incurs propagation latency.
         Returns the payload so callers can ``yield from`` it.
+        Raises :class:`LinkDownError` when the link is partitioned —
+        checked at start and again after serialization, so a transfer
+        caught mid-flight by a partition is lost, not delivered.
         """
+        if not self.up:
+            raise LinkDownError(f"link {self.name} is partitioned")
         tx = self._tx[src if src in self._tx else self.a]
         start = self.sim.now
         yield tx.request()
@@ -104,6 +118,8 @@ class SimLink:
             yield self.sim.timeout(self.serialization_ms(size_bytes))
         finally:
             tx.release()
+        if not self.up:
+            raise LinkDownError(f"link {self.name} partitioned mid-transfer")
         yield self.sim.timeout(self.latency_ms)
         self.bytes_carried += size_bytes
         self.stats.observe(self.sim.now - start)

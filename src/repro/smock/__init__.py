@@ -6,7 +6,7 @@ from .component import ForwardingComponent, RuntimeComponent, ServerStub
 from .deployment import Deployer, DeploymentError, DeploymentRecord
 from .lookup import LookupService, ServiceRegistration
 from .messages import RequestError, ServiceRequest, ServiceResponse
-from .proxy import BindRecord, GenericProxy, ServiceProxy
+from .proxy import BindRecord, GenericProxy, RetryPolicy, ServiceProxy
 from .runtime import SmockRuntime
 from .server import AccessRecord, GenericServer
 from .transport import RuntimeTransport
@@ -26,6 +26,7 @@ __all__ = [
     "GenericProxy",
     "ServiceProxy",
     "BindRecord",
+    "RetryPolicy",
     "GenericServer",
     "AccessRecord",
     "Deployer",

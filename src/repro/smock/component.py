@@ -46,11 +46,13 @@ class ServerStub:
     def request(self, req: ServiceRequest, response_bytes_hint: int = 0) -> Generator[Any, Any, ServiceResponse]:
         """Process generator: full round trip to the bound server.
 
-        A network partition (no route to the server) surfaces as a
-        failure response, not an exception — callers decide whether to
-        retry, fail over, or report upstream.
+        A network partition (no route to the server) or an infrastructure
+        fault (crashed host, severed link mid-transfer) surfaces as a
+        *retryable* failure response, not an exception — callers decide
+        whether to retry, fail over, or report upstream.
         """
         from ..network import NetworkError
+        from ..sim import FaultError
 
         self.calls += 1
         transport = self.runtime.transport
@@ -62,9 +64,10 @@ class ServerStub:
             yield from transport.deliver(
                 self.server.node_name, self.client_node, resp.size_bytes
             )
-        except NetworkError as exc:
+        except (NetworkError, FaultError) as exc:
             return ServiceResponse.failure(
-                f"unreachable: {self.client_node} -> {self.server.node_name}: {exc}"
+                f"unreachable: {self.client_node} -> {self.server.node_name}: {exc}",
+                retryable=True,
             )
         return resp
 
@@ -101,6 +104,10 @@ class RuntimeComponent:
         self.latency = Monitor(f"component:{instance_id}")
         self.requests_served = 0
         self.requests_forwarded = 0
+        #: set by fault injection when the hosting node crashes; the live
+        #: instance is gone for good — a restarted node comes back empty
+        #: and only replanning re-installs components.
+        self.failed = False
 
     # -- identity -----------------------------------------------------------
     @property
@@ -160,11 +167,17 @@ class RuntimeComponent:
         the whole request chain (the wrapper's "special environment"
         isolates components from each other).
         """
+        from ..sim import FaultError, NodeDownError
+
+        if self.failed or not self.node.up:
+            raise NodeDownError(f"{self.label}: host {self.node_name} is down")
         start = self.sim.now
         req.trace.append(self.label)
         yield from self.node.execute(self.unit.behaviors.cpu_per_request)
         try:
             resp = yield from self.dispatch(req)
+        except FaultError:
+            raise  # infrastructure fault, not a component bug: propagate
         except Exception as exc:  # noqa: BLE001 - fault isolation boundary
             resp = ServiceResponse.failure(f"{self.label}: {type(exc).__name__}: {exc}")
         self.requests_served += 1

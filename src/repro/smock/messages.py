@@ -32,16 +32,23 @@ class ServiceRequest:
     #: placements visited, e.g. ["MailClient@sd-client1", ...]
     trace: List[str] = field(default_factory=list)
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: stable identity across retries: two deliveries carrying the same
+    #: key are the same logical operation, and stateful components must
+    #: apply it at most once.  ``None`` (the default) opts out of
+    #: deduplication entirely.
+    idempotency_key: Optional[str] = None
 
     def child(self, op: str, payload: Dict[str, Any], size_bytes: int) -> "ServiceRequest":
         """Derive the downstream request a component issues on behalf of
-        this one (same user identity, shared trace)."""
+        this one (same user identity, shared trace, same idempotency
+        key — a retried chain must dedupe at every stateful hop)."""
         return ServiceRequest(
             op=op,
             payload=payload,
             size_bytes=size_bytes,
             user=self.user,
             trace=self.trace,
+            idempotency_key=self.idempotency_key,
         )
 
 
@@ -53,7 +60,15 @@ class ServiceResponse:
     size_bytes: int = 256
     ok: bool = True
     error: Optional[str] = None
+    #: infrastructure failure (crash, partition, timeout) as opposed to
+    #: an application rejection — only these are worth retrying.
+    retryable: bool = False
 
     @classmethod
-    def failure(cls, message: str, size_bytes: int = 128) -> "ServiceResponse":
-        return cls(payload={}, size_bytes=size_bytes, ok=False, error=message)
+    def failure(
+        cls, message: str, size_bytes: int = 128, retryable: bool = False
+    ) -> "ServiceResponse":
+        return cls(
+            payload={}, size_bytes=size_bytes, ok=False, error=message,
+            retryable=retryable,
+        )

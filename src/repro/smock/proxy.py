@@ -7,10 +7,19 @@ itself with a service-specific proxy before returning control to the
 requesting application" — afterwards every operation goes straight to
 the deployed root component with no framework indirection (which is why
 the dynamic scenarios of Figure 7 track their static counterparts).
+
+Robustness: a :class:`RetryPolicy` arms the proxy with per-request
+timeouts and bounded retry (exponential backoff + jitter, seeded RNG).
+Every attempt of one logical operation carries the same idempotency key
+so stateful components deduplicate retries that raced a slow success.
+With no policy (the default) the request path is byte-identical to the
+original fast path — fault tolerance costs nothing until enabled.
 """
 
 from __future__ import annotations
 
+import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
 
@@ -23,7 +32,41 @@ from .server import ACCESS_REQUEST_BYTES, ACCESS_RESPONSE_BYTES
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .runtime import SmockRuntime
 
-__all__ = ["GenericProxy", "ServiceProxy", "BindRecord"]
+__all__ = ["GenericProxy", "ServiceProxy", "BindRecord", "RetryPolicy"]
+
+_key_counter = itertools.count(1)
+
+
+@dataclass
+class RetryPolicy:
+    """Client-side robustness knobs for one proxy.
+
+    ``timeout_ms`` bounds each attempt (it rescues silently-dropped
+    messages, whose delivery generators never return); retries back off
+    exponentially from ``backoff_base_ms`` with multiplicative
+    ``jitter`` drawn from a seeded RNG, so chaos runs stay reproducible.
+    """
+
+    timeout_ms: float = 2000.0
+    max_retries: int = 4
+    backoff_base_ms: float = 50.0
+    backoff_factor: float = 2.0
+    backoff_cap_ms: float = 2000.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based)."""
+        base = min(
+            self.backoff_base_ms * (self.backoff_factor ** (attempt - 1)),
+            self.backoff_cap_ms,
+        )
+        if not self.jitter:
+            return base
+        return base * (1.0 + self.jitter * self._rng.random())
 
 
 @dataclass
@@ -55,14 +98,30 @@ class ServiceProxy:
         interface: str,
         root: RuntimeComponent,
         user: Optional[str] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.runtime = runtime
         self.client_node = client_node
         self.interface = interface
         self.root = root
         self.user = user
+        self.retry_policy = retry_policy
         self._stub = ServerStub(runtime, interface, client_node, root)
         self.latency = Monitor(f"proxy:{client_node}")
+        self.retries = 0
+        self.timeouts = 0
+
+    def rebind(self, root: RuntimeComponent) -> None:
+        """Point this proxy at a new root instance (failover replanning).
+
+        Updates both the recorded root *and* the live stub — a proxy
+        whose stub still aims at the dead instance would keep failing
+        after a nominally successful replan.
+        """
+        self.root = root
+        self._stub = ServerStub(
+            self.runtime, self.interface, self.client_node, root
+        )
 
     def request(
         self,
@@ -81,11 +140,76 @@ class ServiceProxy:
         req = ServiceRequest(
             op=op, payload=dict(payload or {}), size_bytes=size_bytes, user=self.user
         )
-        resp = yield from self._stub.request(req)
+        if self.retry_policy is None:
+            resp = yield from self._stub.request(req)
+        else:
+            resp = yield from self._robust_request(req)
         elapsed = sim.now - start
         self.latency.observe(elapsed)
         span.finish(status=None if resp.ok else "error")
         obs.metrics.observe("smock.request_sim_ms", elapsed, op=op)
+        return resp
+
+    def _robust_request(
+        self, req: ServiceRequest
+    ) -> Generator[Any, Any, ServiceResponse]:
+        """Timeout + bounded-retry wrapper around one logical operation.
+
+        Each attempt races the RPC against a timeout; a late response
+        from an abandoned attempt is discarded (its process keeps
+        running but nobody reads the value).  All attempts share one
+        idempotency key, so a retry that follows a
+        response-lost-after-apply cannot double-apply.
+        """
+        policy = self.retry_policy
+        sim = self.runtime.sim
+        metrics = self.runtime.obs.metrics
+        req.idempotency_key = f"{self.client_node}:{next(_key_counter)}"
+        attempts = policy.max_retries + 1
+        resp: ServiceResponse = ServiceResponse.failure("unattempted")
+        for attempt in range(1, attempts + 1):
+            # Fresh request object per attempt: the stub mutates trace
+            # and a re-sent message is a new message on the wire.
+            attempt_req = ServiceRequest(
+                op=req.op,
+                payload=dict(req.payload),
+                size_bytes=req.size_bytes,
+                user=req.user,
+                trace=req.trace,
+                idempotency_key=req.idempotency_key,
+            )
+            rpc = sim.process(
+                self._stub.request(attempt_req),
+                name=f"rpc:{self.client_node}:{req.op}:{attempt}",
+            )
+            timeout = sim.timeout(policy.timeout_ms)
+            # If the rpc process fails outright (a genuine bug — fault
+            # errors are converted to failure responses in the stub),
+            # the any_of fails and re-raises here.  A timed-out attempt
+            # is simply abandoned: it may still complete, but nobody
+            # reads its value.
+            yield sim.any_of([rpc, timeout])
+            if rpc.triggered:
+                resp = rpc.value
+                if resp.ok or not resp.retryable:
+                    if attempt > 1:
+                        metrics.inc(
+                            "smock.retries", attempt - 1, op=req.op,
+                            outcome="ok" if resp.ok else "failed",
+                        )
+                    return resp
+            else:
+                self.timeouts += 1
+                metrics.inc("smock.request_timeouts", op=req.op)
+                resp = ServiceResponse.failure(
+                    f"timeout after {policy.timeout_ms:.0f}ms", retryable=True
+                )
+            if attempt < attempts:
+                self.retries += 1
+                yield sim.timeout(policy.backoff_ms(attempt))
+        metrics.inc(
+            "smock.retries", attempts - 1, op=req.op, outcome="exhausted"
+        )
         return resp
 
 
@@ -102,10 +226,12 @@ class GenericProxy:
         runtime: "SmockRuntime",
         registration: ServiceRegistration,
         client_node: str,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.runtime = runtime
         self.registration = registration
         self.client_node = client_node
+        self.retry_policy = retry_policy
         self.service_proxy: Optional[ServiceProxy] = None
         self.bind_record: Optional[BindRecord] = None
 
@@ -174,6 +300,7 @@ class GenericProxy:
             interface,
             access.deployment.root_instance,
             user=context.get("User"),
+            retry_policy=self.retry_policy,
         )
         self.bind_record = record
         runtime.bind_records.append(record)

@@ -19,6 +19,15 @@ two configurations".
    instances are retired only after their coherence buffers have been
    flushed upstream (state preservation);
 4. placements shared with unaffected bindings survive untouched.
+
+Failover extension: when the observed change is a *node-death*
+detection (a :class:`FailureEvent` from the heartbeat detector), the
+round first reconciles runtime registries with reality — instances on
+the dead host are unregistered, their un-flushed coherence buffers are
+accounted as lost updates (fail-stop: that state is unrecoverable) —
+and then replans around the dead node, which the planner's
+installability gate already excludes.  Recovery time (crash instant to
+rebound proxies) lands in the ``failover.recovery_ms`` histogram.
 """
 
 from __future__ import annotations
@@ -26,8 +35,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
+from ..network import NetworkError
 from ..network.monitor import ChangeEvent, NetworkMonitor
 from ..planner import DeploymentPlan, DeploymentState, Placement, PlanningError, PlanRequest
+from ..sim import FaultError
 from .proxy import ServiceProxy
 
 __all__ = ["ReplanManager", "ReplanEvent"]
@@ -43,6 +54,10 @@ class ReplanEvent:
     installed: List[str] = field(default_factory=list)  # new placement labels
     retired: List[str] = field(default_factory=list)  # removed placement labels
     failures: List[str] = field(default_factory=list)  # clients left unservable
+    #: labels of dead-host instances reconciled away before planning
+    reconciled: List[str] = field(default_factory=list)
+    #: True if the round was skipped because another was in progress
+    deferred: bool = False
 
 
 @dataclass
@@ -62,6 +77,11 @@ class ReplanManager:
         self.bindings: List[_Binding] = []
         self.events: List[ReplanEvent] = []
         self._scheduled = False
+        self._replanning = False
+        self._rerun_trigger: Optional[ChangeEvent] = None
+        #: client_node -> sim time its outage began (crash instant when
+        #: known, else when the binding first became unservable)
+        self._outage_since: Dict[str, float] = {}
         monitor.subscribe(self._on_change)
 
     # -- tracking -----------------------------------------------------------
@@ -95,11 +115,62 @@ class ReplanManager:
     def replan_all(
         self, trigger: Optional[ChangeEvent] = None
     ) -> Generator[Any, Any, ReplanEvent]:
-        """Process generator: recompute every binding, redeploy deltas."""
+        """Process generator: recompute every binding, redeploy deltas.
+
+        Re-entrancy: a round that starts while another is mid-flight
+        (replanning yields to the simulator while deploying) defers —
+        the in-progress round re-runs once more when it finishes, so the
+        late trigger is never lost and the two rounds cannot interleave
+        their deploy/retire steps.
+        """
+        if self._replanning:
+            self._rerun_trigger = trigger or self._rerun_trigger or _RERUN_SENTINEL
+            event = ReplanEvent(
+                time_ms=self.runtime.sim.now, trigger=trigger, deferred=True
+            )
+            self.events.append(event)
+            return event
+        self._replanning = True
+        try:
+            event = yield from self._replan_round(trigger)
+        finally:
+            self._replanning = False
+        if self._rerun_trigger is not None:
+            rerun = self._rerun_trigger
+            self._rerun_trigger = None
+            self.runtime.sim.process(
+                self.replan_all(
+                    trigger=None if rerun is _RERUN_SENTINEL else rerun
+                ),
+                name="replan-rerun",
+            )
+        return event
+
+    def _replan_round(
+        self, trigger: Optional[ChangeEvent]
+    ) -> Generator[Any, Any, ReplanEvent]:
         runtime = self.runtime
         bundle = self.bundle
         planner = bundle.planner
         event = ReplanEvent(time_ms=runtime.sim.now, trigger=trigger)
+
+        # Failover preamble: drop dead-host instances from the runtime's
+        # registries before planning, so the planner state seeded below
+        # reflects reality and retirement never routes traffic to them.
+        self._reconcile_failed_instances(event)
+
+        # Ground-truth crash instant behind this round's trigger, if the
+        # trigger is a death detection — anchors recovery-time tracking.
+        trigger_crash: Optional[float] = None
+        if (
+            trigger is not None
+            and trigger.kind == "node"
+            and trigger.attribute == "up"
+            and not trigger.new
+        ):
+            trigger_crash = getattr(
+                runtime.transport.node(trigger.subject), "crashed_at_ms", None
+            )
 
         # Re-plan each binding against a state seeded with primaries and
         # (incrementally) the kept/new placements of earlier bindings —
@@ -114,9 +185,15 @@ class ReplanManager:
         algo = ALGORITHMS[planner.algorithm]
         new_plans: List[Optional[DeploymentPlan]] = []
         for binding in self.bindings:
-            plan = algo(planner.ctx, binding.request, state, planner.objective)
+            try:
+                plan = algo(planner.ctx, binding.request, state, planner.objective)
+            except (PlanningError, NetworkError):
+                # E.g. the client's own node vanished: unservable, not
+                # a reason to abort the round for everyone else.
+                plan = None
             if plan is None:
                 event.failures.append(binding.request.client_node)
+                self._note_outage(binding.request.client_node, trigger_crash)
                 new_plans.append(None)
                 continue
             new_plans.append(plan)
@@ -129,21 +206,35 @@ class ReplanManager:
             if plan is not None:
                 desired.update(p.key for p in plan.placements)
         for placement in planner.state.placements():
-            if self._is_primary(placement):
+            if placement.key in bundle.instances and self._is_primary(placement):
                 desired.add(placement.key)
 
         # Deploy changed bindings (install new placements, rebind proxies).
         for binding, plan in zip(list(self.bindings), new_plans):
             if plan is None:
                 continue
-            if self._same_structure(binding.plan, plan):
+            if self._same_structure(binding.plan, plan) and all(
+                p.key in bundle.instances for p in plan.placements
+            ):
+                # Unchanged *and* fully installed.  The second clause
+                # matters after failover reconciliation: the optimal plan
+                # may have the same shape as before the crash, but its
+                # instances were purged and must be re-installed.
                 binding.plan = plan
                 continue
-            record = yield from runtime.deployer.execute(plan, bundle)
-            binding.proxy.root = record.root_instance
+            try:
+                record = yield from runtime.deployer.execute(plan, bundle)
+            except (PlanningError, NetworkError, FaultError):
+                # The world changed under us mid-deploy (e.g. another
+                # fault); leave this binding for the next round.
+                event.failures.append(binding.request.client_node)
+                self._note_outage(binding.request.client_node, trigger_crash)
+                continue
+            binding.proxy.rebind(record.root_instance)
             binding.plan = plan
             event.rebound.append(binding.request.client_node)
             event.installed.extend(i.label for i in record.new_instances)
+            self._note_recovery(binding.request.client_node, trigger_crash)
 
         # Retire instances no longer referenced by any binding, flushing
         # replica state upstream first (state preservation).
@@ -162,7 +253,74 @@ class ReplanManager:
         # Rebuild the planner's deployment state to match reality.
         planner.state = state
         self.events.append(event)
+        self._observe_round(event)
         return event
+
+    # -- failover reconciliation -------------------------------------------------
+    def _reconcile_failed_instances(self, event: ReplanEvent) -> None:
+        """Purge registries of instances whose host is dead.
+
+        An instance is gone if fault injection flagged it ``failed`` or
+        the failure detector declared its node down.  Dirty coherence
+        buffers on such replicas are *lost updates* — acked to clients,
+        never propagated — and are reported as such rather than silently
+        discarded.
+        """
+        runtime = self.runtime
+        bundle = self.bundle
+        network = runtime.network
+        for key in list(bundle.instances.keys()):
+            instance = bundle.instances[key]
+            node_name = key[1]
+            if not (getattr(instance, "failed", False) or not network.node(node_name).up):
+                continue
+            replica_id = getattr(instance, "replica_id", None)
+            if replica_id is not None:
+                bundle.coherence.report_lost(replica_id)
+            stop = getattr(instance, "stop_daemon", None)
+            if stop is not None:
+                stop()
+            placement = Placement(unit=key[0], node=key[1], factor_values=key[2])
+            runtime.deployer.uninstall(placement, bundle)
+            event.reconciled.append(instance.label)
+
+    def _observe_round(self, event: ReplanEvent) -> None:
+        """Failover metrics for rounds triggered by a death detection."""
+        trigger = event.trigger
+        if trigger is None or trigger.kind != "node" or trigger.attribute != "up":
+            return
+        metrics = self.runtime.obs.metrics
+        if trigger.new:  # recovery detection round
+            metrics.inc("failover.recovery_replans")
+            if event.rebound:
+                metrics.inc("failover.rebound_clients", len(event.rebound))
+            return
+        metrics.inc("failover.replans")
+        if event.rebound:
+            metrics.inc("failover.rebound_clients", len(event.rebound))
+        if event.failures:
+            metrics.inc("failover.unservable_clients", len(event.failures))
+        detection_ms = getattr(trigger, "detection_ms", None)
+        if detection_ms:
+            metrics.observe("failover.detection_ms", detection_ms)
+
+    def _note_outage(self, client_node: str, trigger_crash: Optional[float]) -> None:
+        """First unservable sighting of a binding starts its outage clock."""
+        start = trigger_crash if trigger_crash is not None else self.runtime.sim.now
+        self._outage_since.setdefault(client_node, start)
+
+    def _note_recovery(self, client_node: str, trigger_crash: Optional[float]) -> None:
+        """A successful rebind closes the outage, if one was open.
+
+        A rebind with no open outage (same-round failover onto an
+        alternate host, before the client ever went unservable) measures
+        from the triggering crash instead, when known.
+        """
+        started = self._outage_since.pop(client_node, trigger_crash)
+        if started is not None:
+            self.runtime.obs.metrics.observe(
+                "failover.recovery_ms", self.runtime.sim.now - started
+            )
 
     # -- helpers ----------------------------------------------------------------
     def _is_primary(self, placement: Placement) -> bool:
@@ -173,3 +331,10 @@ class ReplanManager:
     @staticmethod
     def _same_structure(a: DeploymentPlan, b: DeploymentPlan) -> bool:
         return {p.key for p in a.placements} == {p.key for p in b.placements}
+
+
+#: placeholder trigger meaning "re-run requested while busy, cause unknown"
+_RERUN_SENTINEL = ChangeEvent(
+    time_ms=-1.0, kind="replan", subject="rerun", attribute="pending",
+    old=None, new=None,
+)

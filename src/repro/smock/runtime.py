@@ -385,6 +385,46 @@ class SmockRuntime:
         self.sim.run_until_complete(proc)
         return proc.value
 
+    # -- fault tolerance -----------------------------------------------------------
+    def enable_self_healing(
+        self,
+        poll_interval_ms: float = 500.0,
+        heartbeat_interval_ms: float = 250.0,
+        miss_threshold: int = 3,
+        detector_home: Optional[str] = None,
+    ) -> Any:
+        """Wire up the full recovery loop: monitor → detector → replanner.
+
+        Returns the :class:`~repro.smock.replanner.ReplanManager`; the
+        monitor, detector and manager are also stored on the runtime as
+        ``monitor`` / ``failure_detector`` / ``replanner``.  Client
+        bindings still need to be registered (``replanner.track`` /
+        ``track_access``) to be failed over.  Idempotent: a second call
+        returns the existing manager.
+        """
+        existing = getattr(self, "replanner", None)
+        if existing is not None:
+            return existing
+        from ..faults import FailureDetector
+        from ..network.monitor import NetworkMonitor
+        from .replanner import ReplanManager
+
+        monitor = NetworkMonitor(self.sim, self.network, poll_interval_ms)
+        replanner = ReplanManager(self, monitor)
+        detector = FailureDetector(
+            self,
+            monitor,
+            interval_ms=heartbeat_interval_ms,
+            miss_threshold=miss_threshold,
+            home_node=detector_home or self.server_node,
+        )
+        monitor.start()
+        detector.start()
+        self.monitor = monitor
+        self.failure_detector = detector
+        self.replanner = replanner
+        return replanner
+
     # -- convenience ---------------------------------------------------------------
     def run(self, generator: Generator, name: str = "runtime-task") -> Any:
         """Run one process generator to completion on the simulator."""

@@ -5,21 +5,43 @@ at run time, messages actually traverse the simulated links hop by hop
 (store-and-forward), queueing behind concurrent transfers on each hop —
 this is where bandwidth contention between request traffic and coherence
 propagation emerges in the Figure 7 experiments.
+
+Fault semantics: each store-and-forward hop checks that the node doing
+the forwarding is alive (a crashed router holds no message queues — the
+message is simply gone), and an installed :class:`FaultHook` can drop or
+delay individual messages, modeling lossy links.  A dropped message
+hangs its delivery generator forever — silent loss, exactly what a
+client-side timeout exists to bound.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Tuple
+from typing import Any, Dict, Generator, Optional, Tuple
 
 from ..network import Network
-from ..sim import SimLink, SimNode, Simulator
+from ..sim import NodeDownError, SimLink, SimNode, Simulator
 from ..sim.resources import Monitor
 
-__all__ = ["RuntimeTransport"]
+__all__ = ["RuntimeTransport", "FaultHook"]
 
 
 def _key(a: str, b: str) -> Tuple[str, str]:
     return (a, b) if a <= b else (b, a)
+
+
+class FaultHook:
+    """Per-message fault decisions consulted by the transport.
+
+    Subclasses (see :class:`repro.faults.FaultInjector`) override
+    :meth:`on_hop`, returning ``"drop"`` to lose the message on that
+    hop, a positive float to add that many ms of delay, or ``None`` to
+    leave it alone.
+    """
+
+    def on_hop(
+        self, src: str, dst: str, hop_a: str, hop_b: str, size_bytes: int
+    ) -> Optional[Any]:
+        return None
 
 
 class RuntimeTransport:
@@ -32,6 +54,10 @@ class RuntimeTransport:
         self.stats = Monitor("transport")
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: optional fault hook; ``None`` keeps the delivery loop on the
+        #: exact pre-fault-tolerance fast path.
+        self.fault_hook: Optional[FaultHook] = None
+        self.messages_dropped = 0
 
     def node(self, name: str) -> SimNode:
         return self.nodes[name]
@@ -43,17 +69,33 @@ class RuntimeTransport:
         """Process generator: move ``size_bytes`` from ``src`` to ``dst``.
 
         Routes along the current lowest-latency path, store-and-forward
-        per hop.  Same-node delivery is free (in-process call).
+        per hop.  Same-node delivery is free (in-process call).  Raises
+        :class:`NodeDownError` when a forwarding node or the destination
+        is crashed at arrival time; a hook-dropped message never returns
+        (silent loss — the caller's timeout is the only recourse).
         """
         if src == dst:
             return
         start = self.sim.now
         path = self.network.path(src, dst)
+        hook = self.fault_hook
         cur = src
         for hop in path.hops:
+            if hook is not None:
+                verdict = hook.on_hop(src, dst, hop.a, hop.b, size_bytes)
+                if verdict == "drop":
+                    self.messages_dropped += 1
+                    yield self.sim.event()  # never triggers: message lost
+                    return  # pragma: no cover - unreachable
+                if verdict:
+                    yield self.sim.timeout(float(verdict))
             link = self.link(hop.a, hop.b)
             yield from link.transfer(cur, size_bytes)
             cur = link.other_end(cur)
+            if not self.nodes[cur].up:
+                raise NodeDownError(
+                    f"message {src} -> {dst} arrived at crashed node {cur!r}"
+                )
         self.messages_sent += 1
         self.bytes_sent += size_bytes
         self.stats.observe(self.sim.now - start)

@@ -1,0 +1,36 @@
+"""Shared fixtures: a minimal runtime-shaped world for fault tests."""
+
+import pytest
+
+from repro.network import Network
+from repro.obs import Observability
+from repro.sim import Simulator
+from repro.smock.transport import RuntimeTransport
+
+
+class MiniRuntime:
+    """The slice of :class:`SmockRuntime` the fault subsystem touches:
+    ``sim``, ``network`` (analytic belief), ``transport`` (live ground
+    truth), ``obs`` and a designated ``server_node``."""
+
+    def __init__(self, network: Network, server_node: str = "a") -> None:
+        self.sim = Simulator()
+        self.network = network
+        self.transport = RuntimeTransport(self.sim, network)
+        self.obs = Observability(tracing=False, metrics=True)
+        self.server_node = server_node
+
+
+def line_network() -> Network:
+    """a -- b -- c, fast links."""
+    net = Network()
+    for name in "abc":
+        net.add_node(name, cpu_capacity=1000)
+    net.add_link("a", "b", latency_ms=10, bandwidth_mbps=8)
+    net.add_link("b", "c", latency_ms=20, bandwidth_mbps=8)
+    return net
+
+
+@pytest.fixture()
+def world():
+    return MiniRuntime(line_network())

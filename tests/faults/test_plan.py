@@ -1,0 +1,80 @@
+"""Tests for the declarative fault-plan model and its CLI syntax."""
+
+import pytest
+
+from repro.faults import FaultAction, FaultKind, FaultPlan, FaultPlanError
+
+
+def test_parse_crash_and_restart():
+    plan = FaultPlan.parse(["crash:sandiego-gw@2000", "restart:sandiego-gw@6000"])
+    assert len(plan) == 2
+    crash, restart = plan.sorted_actions()
+    assert crash.kind == FaultKind.CRASH
+    assert crash.node == "sandiego-gw"
+    assert crash.at_ms == 2000.0
+    assert restart.kind == FaultKind.RESTART
+    assert restart.at_ms == 6000.0
+
+
+def test_parse_partition_and_heal():
+    plan = FaultPlan.parse(
+        ["partition:newyork-gw/newyork-ms@1000", "heal:newyork-gw/newyork-ms@4000"]
+    )
+    part, heal = plan.sorted_actions()
+    assert part.link == ("newyork-gw", "newyork-ms")
+    assert part.subject == "newyork-gw<->newyork-ms"
+    assert heal.kind == FaultKind.HEAL
+
+
+def test_parse_drop_window():
+    (action,) = FaultPlan.parse(["drop:a/b:0.3@1000-5000"]).actions
+    assert action.kind == FaultKind.DROP
+    assert action.link == ("a", "b")
+    assert action.magnitude == pytest.approx(0.3)
+    assert (action.at_ms, action.until_ms) == (1000.0, 5000.0)
+
+
+def test_parse_delay_window():
+    (action,) = FaultPlan.parse(["delay:a/b:25@1000-5000"]).actions
+    assert action.kind == FaultKind.DELAY
+    assert action.magnitude == 25.0
+
+
+def test_describe_round_trips_the_syntax():
+    specs = ["crash:n1@100", "drop:a/b:0.5@200-300"]
+    plan = FaultPlan.parse(specs)
+    assert plan.describe() == specs
+
+
+def test_sorted_actions_orders_by_time():
+    plan = FaultPlan.parse(["restart:n@500", "crash:n@100"])
+    assert [a.at_ms for a in plan.sorted_actions()] == [100.0, 500.0]
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "crash:n1",  # missing @time
+        "crash:n1@soon",  # bad time
+        "frobnicate:n1@100",  # unknown kind
+        "partition:n1@100",  # missing A/B
+        "drop:a/b:1.5@100-200",  # probability out of range
+        "drop:a/b:0.5@200-100",  # inverted window
+        "drop:a/b:0.5@100",  # missing window
+        "delay:a/b:-5@100-200",  # negative delay
+        "drop:a/b:lots@100-200",  # bad magnitude
+        "crash:n1:extra@100",  # trailing field
+    ],
+)
+def test_malformed_specs_raise(spec):
+    with pytest.raises(FaultPlanError):
+        FaultPlan.parse([spec])
+
+
+def test_action_validation_direct_construction():
+    with pytest.raises(FaultPlanError):
+        FaultAction(kind=FaultKind.CRASH, at_ms=0.0)  # no node
+    with pytest.raises(FaultPlanError):
+        FaultAction(kind=FaultKind.PARTITION, at_ms=0.0)  # no link
+    with pytest.raises(FaultPlanError):
+        FaultAction(kind="nope", at_ms=0.0, node="n")

@@ -1,0 +1,59 @@
+"""Failure-context annotation: who failed, and when on the sim clock."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class Boom(RuntimeError):
+    pass
+
+
+def test_failed_process_is_stamped_with_name_and_time():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(25.0)
+        raise Boom("kaput")
+
+    proc = sim.process(worker(), name="worker-1")
+    sim.run()
+    assert proc.failed
+    exc = proc.value
+    assert exc.failed_process == "worker-1"
+    assert exc.failed_at_ms == 25.0
+
+
+def test_run_until_complete_annotates_raised_exception():
+    sim = Simulator()
+
+    def worker():
+        yield sim.timeout(10.0)
+        raise Boom("kaput")
+
+    proc = sim.process(worker(), name="chaos-victim")
+    with pytest.raises(Boom) as excinfo:
+        sim.run_until_complete(proc)
+    exc = excinfo.value
+    assert exc.sim_context == "in process 'chaos-victim' at t=10.0ms"
+    notes = getattr(exc, "__notes__", None)
+    if notes is not None:  # Python >= 3.11
+        assert exc.sim_context in notes
+
+
+def test_nested_failure_keeps_innermost_process_name():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(5.0)
+        raise Boom("deep")
+
+    def outer():
+        yield sim.process(inner(), name="inner-proc")
+
+    proc = sim.process(outer(), name="outer-proc")
+    with pytest.raises(Boom) as excinfo:
+        sim.run_until_complete(proc)
+    # The stamp names the process whose generator raised, not the waiter.
+    assert excinfo.value.failed_process == "inner-proc"
+    assert excinfo.value.failed_at_ms == 5.0
