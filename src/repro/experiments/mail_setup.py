@@ -46,6 +46,8 @@ def build_mail_testbed(
     algorithm: str = "dp_chain",
     planning_work: float = 2000.0,
     users=DEFAULT_USERS,
+    plan_cache=None,
+    memoize: bool = True,
 ) -> MailTestbed:
     """The standard case-study testbed.
 
@@ -57,6 +59,10 @@ def build_mail_testbed(
     5-clients-per-site topology (19 nodes) it finds the same chains as
     the exhaustive planner in ~1% of the time (see the planner-scaling
     benchmark), which keeps the 45-cell Figure 7 sweep tractable.
+
+    ``plan_cache`` / ``memoize`` pass through to
+    :class:`~repro.planner.Planner` (``plan_cache=False`` disables plan
+    caching; ``memoize=False`` disables validity-check memoization).
     """
     spec = build_mail_spec()
     topo = build_fig5_network(clients_per_site=clients_per_site)
@@ -75,6 +81,8 @@ def build_mail_testbed(
         planning_work=planning_work,
         conflict_map=AttributeConflictMap("sensitivity", "TrustLevel", "le"),
         view_policy=view_policy,
+        plan_cache=plan_cache,
+        memoize=memoize,
     )
     runtime.service_state["mail_users"] = tuple(users)
     for name, cls in MAIL_COMPONENT_CLASSES.items():

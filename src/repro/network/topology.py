@@ -167,6 +167,7 @@ class Network:
         self._adj: Dict[str, List[str]] = {}
         self._path_cache: Dict[Tuple[str, str], PathInfo] = {}
         self._version = 0
+        self._fingerprint: Optional[int] = None
 
     # -- construction ----------------------------------------------------
     def add_node(
@@ -223,11 +224,54 @@ class Network:
     def _invalidate(self) -> None:
         self._path_cache.clear()
         self._version += 1
+        self._fingerprint = None
 
     @property
     def version(self) -> int:
         """Bumped on every topology/attribute mutation via this API."""
         return self._version
+
+    def state_fingerprint(self) -> int:
+        """Stable hash of all planning-relevant network state.
+
+        Covers exactly what a search reads: per node the liveness,
+        CPU capacity/reservation and credentials; per link the liveness,
+        latency, bandwidth/reservation, security flag and credentials.
+        Computed lazily and cached until the next mutation, so it costs
+        one dict scan per topology change, not per lookup.
+
+        Unlike :attr:`version` (which increases monotonically), the
+        fingerprint is *content-based*: a crash/restart cycle or a
+        flapping link returns the network to a previously seen
+        fingerprint, letting the :class:`~repro.planner.cache.PlanCache`
+        recognize the recurring world and serve plans it already solved.
+        """
+        if self._fingerprint is None:
+            nodes = tuple(
+                (
+                    n.name,
+                    n.up,
+                    n.cpu_capacity,
+                    n.reserved_cpu,
+                    tuple(sorted((k, repr(v)) for k, v in n.credentials.items())),
+                )
+                for n in sorted(self._nodes.values(), key=lambda n: n.name)
+            )
+            links = tuple(
+                (
+                    l.a,
+                    l.b,
+                    l.up,
+                    l.latency_ms,
+                    l.bandwidth_mbps,
+                    l.reserved_mbps,
+                    l.secure,
+                    tuple(sorted((k, repr(v)) for k, v in l.credentials.items())),
+                )
+                for l in sorted(self._links.values(), key=lambda l: (l.a, l.b))
+            )
+            self._fingerprint = hash((nodes, links))
+        return self._fingerprint
 
     def touch(self) -> None:
         """Record an external attribute mutation (e.g. by a monitor)."""

@@ -10,10 +10,17 @@ Three interchangeable algorithms over a shared constraint model:
   names as future work, handling general component graphs.
 
 :class:`Planner` is the facade the runtime uses; it owns deployment
-state and capacity reservations.
+state, capacity reservations, and the planner fast path — the
+:class:`PlanCache` of finished plans (keyed under the content-based
+topology epoch ``Network.state_fingerprint()``, so recurring network
+states re-hit their plans), the memoized validity checks inside
+:class:`PlanningContext`, and the :func:`plan_incremental` seeded search
+the replanner uses to patch a deployment around a failed host instead of
+re-deriving it from scratch.
 """
 
-from .compat import CompatError, PlanningContext
+from .cache import PlanCache, PlanCacheStats
+from .compat import CompatError, ContextCacheStats, PlanningContext
 from .dp_chain import DPStats, plan_dp_chain
 from .exhaustive import SearchStats, plan_exhaustive
 from .linkage import LinkageGraph, enumerate_linkage_graphs, valid_chains
@@ -27,6 +34,7 @@ from .plan import (
     PlannedLinkage,
     PlanRequest,
 )
+from .incremental import plan_incremental, surviving_placements
 from .planner import ALGORITHMS, Planner, PlanningError
 
 __all__ = [
@@ -35,6 +43,11 @@ __all__ = [
     "ALGORITHMS",
     "PlanningContext",
     "CompatError",
+    "ContextCacheStats",
+    "PlanCache",
+    "PlanCacheStats",
+    "plan_incremental",
+    "surviving_placements",
     "PlanRequest",
     "DeploymentPlan",
     "DeploymentState",

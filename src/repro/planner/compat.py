@@ -13,6 +13,24 @@ For each pair of linked components the planner checks:
 :class:`PlanningContext` bundles the spec, network, credential
 translator and rule set, and caches node/path environments — the hot
 lookups of every search algorithm.
+
+It also *memoizes* the two hot validity checks themselves (the planner
+fast path, shared by all three search algorithms):
+
+- condition 2 — :meth:`PlanningContext.properties_compatible`, keyed by
+  the frozen (required, implemented, path-environment) property bags;
+- condition 1 — :meth:`PlanningContext.installable`, keyed by
+  (component, node, request context), i.e. the node's credentials after
+  translation.
+
+Both memos (like the environment caches) are invalidated wholesale when
+``Network.version`` moves — every topology, liveness, credential or
+capacity-reservation change bumps it — so a memoized verdict can never
+outlive the network state it was computed against.  Hit/miss counts land
+in :class:`ContextCacheStats`, which the :class:`~repro.planner.planner.
+Planner` facade exports through the metrics registry.  Pass
+``memoize=False`` to evaluate every check directly (the results are
+identical either way; the memo is a pure cache).
 """
 
 from __future__ import annotations
@@ -32,11 +50,36 @@ from ..spec import (
     satisfies,
 )
 
-__all__ = ["PlanningContext", "CompatError"]
+__all__ = ["PlanningContext", "CompatError", "ContextCacheStats"]
 
 
 class CompatError(ValueError):
     """A linkage pair violates one of the validity conditions."""
+
+
+@dataclass
+class ContextCacheStats:
+    """Hit/miss accounting for the memoized validity checks.
+
+    ``uncacheable`` counts evaluations whose property values were not
+    hashable (the memo silently steps aside for those);
+    ``invalidations`` counts wholesale flushes caused by a network
+    version change.
+    """
+
+    compat_hits: int = 0
+    compat_misses: int = 0
+    install_hits: int = 0
+    install_misses: int = 0
+    uncacheable: int = 0
+    invalidations: int = 0
+
+
+def _freeze_bag(props: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Hashable form of a property bag (raises TypeError if values aren't)."""
+    frozen = tuple(sorted(props.items()))
+    hash(frozen)
+    return frozen
 
 
 @dataclass
@@ -48,6 +91,9 @@ class PlanningContext:
     translator: CredentialTranslator
     #: observability bundle shared by every algorithm using this context
     obs: Optional[Observability] = None
+    #: memoize the condition-1/condition-2 checks (pure cache: results
+    #: are identical with it off, every search just re-evaluates)
+    memoize: bool = True
 
     def __post_init__(self) -> None:
         self.obs = resolve_obs(self.obs)
@@ -55,6 +101,9 @@ class PlanningContext:
         self._path_env_cache: Dict[Tuple[str, str], Dict[str, Any]] = {}
         self._implements_cache: Dict[Tuple[str, str], Dict[str, Dict[str, Any]]] = {}
         self._requires_cache: Dict[Tuple[str, str], List[Tuple[str, Dict[str, Any]]]] = {}
+        self._compat_cache: Dict[Tuple, bool] = {}
+        self._install_cache: Dict[Tuple, bool] = {}
+        self.cache_stats = ContextCacheStats()
         self._net_version = self.network.version
 
     # -- environments -------------------------------------------------------
@@ -64,6 +113,9 @@ class PlanningContext:
             self._path_env_cache.clear()
             self._implements_cache.clear()
             self._requires_cache.clear()
+            self._compat_cache.clear()
+            self._install_cache.clear()
+            self.cache_stats.invalidations += 1
             self._net_version = self.network.version
 
     def node_env(self, node: str, context: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
@@ -113,7 +165,35 @@ class PlanningContext:
         this is the single gate through which every search algorithm's
         candidate enumeration excludes failed hosts during failover
         replanning.
+
+        Memoized per (component, node, request context); the memo is
+        flushed whenever the network version moves (liveness flips bump
+        it, so a dead node can never serve a stale ``True``).
         """
+        if not self.memoize:
+            return self._installable_eval(unit, node, context)
+        self._check_version()
+        stats = self.cache_stats
+        try:
+            key = (unit.name, node, _freeze_bag(context) if context else None)
+        except TypeError:
+            stats.uncacheable += 1
+            return self._installable_eval(unit, node, context)
+        verdict = self._install_cache.get(key)
+        if verdict is not None:
+            stats.install_hits += 1
+            return verdict
+        stats.install_misses += 1
+        verdict = self._installable_eval(unit, node, context)
+        self._install_cache[key] = verdict
+        return verdict
+
+    def _installable_eval(
+        self,
+        unit: ComponentDef,
+        node: str,
+        context: Optional[Mapping[str, Any]] = None,
+    ) -> bool:
         if not self.network.node(node).up:
             return False
         env = self.node_env(node, context)
@@ -189,7 +269,37 @@ class PlanningContext:
         property must be present (or implemented as ANY) and its
         environment-transformed value must satisfy the requirement under
         the property's match mode.
+
+        Memoized by the frozen (required, implemented, env) bags — the
+        same triple recurs constantly across search branches because the
+        planner revisits identical (interface properties, path
+        environment) pairs from different partial deployments.  The memo
+        is flushed with the environment caches on any network change.
         """
+        if not self.memoize:
+            return self._compatible_eval(required, implemented, env)
+        self._check_version()
+        stats = self.cache_stats
+        try:
+            key = (_freeze_bag(required), _freeze_bag(implemented), _freeze_bag(env))
+        except TypeError:
+            stats.uncacheable += 1
+            return self._compatible_eval(required, implemented, env)
+        verdict = self._compat_cache.get(key)
+        if verdict is not None:
+            stats.compat_hits += 1
+            return verdict
+        stats.compat_misses += 1
+        verdict = self._compatible_eval(required, implemented, env)
+        self._compat_cache[key] = verdict
+        return verdict
+
+    def _compatible_eval(
+        self,
+        required: Mapping[str, Any],
+        implemented: Mapping[str, Any],
+        env: Mapping[str, Any],
+    ) -> bool:
         if not required:
             return True
         delivered = self.transform_through_env(implemented, env)

@@ -14,6 +14,15 @@ compatibility under path-environment modification) as it goes, and
 condition 3 (load vs. capacity) on each complete candidate.  A
 branch-and-bound lower bound from the objective prunes dominated
 partial plans.
+
+Installed placements (from the :class:`~repro.planner.plan.
+DeploymentState`) are treated as *already wired*: linking to one — or
+rooting the plan at one — records the placement alone without reopening
+its requirements.  Incremental replanning exploits this by seeding the
+state with a previous plan's survivors (see
+:mod:`repro.planner.incremental`, whose graft step re-attaches the
+downstream wiring such reuse elides); the surviving chain then acts as
+an early incumbent for the branch-and-bound pruning.
 """
 
 from __future__ import annotations

@@ -64,6 +64,13 @@ class Objective:
     #: ViewMailClient only because MailClient's conditions fail there).
     root_view_penalty = 1e6
 
+    @property
+    def cache_key(self) -> Tuple:
+        """Hashable identity used by :class:`~repro.planner.cache.
+        PlanCache` keys.  Subclasses with constructor parameters that
+        change scoring must extend this tuple."""
+        return (self.name,)
+
     def root_penalty(self, ctx: PlanningContext, plan: DeploymentPlan) -> float:
         root_unit = ctx.spec.unit(plan.placements[plan.root].unit)
         return self.root_view_penalty if root_unit.is_view else 0.0
@@ -182,6 +189,10 @@ class DeploymentCost(Objective):
     def __init__(self, home_node: str, latency: Optional[ExpectedLatency] = None) -> None:
         self.home_node = home_node
         self._latency = latency or ExpectedLatency()
+
+    @property
+    def cache_key(self) -> Tuple:
+        return (self.name, self.home_node)
 
     def placement_cost(
         self, ctx: PlanningContext, unit: ComponentDef, node: str, reused: bool

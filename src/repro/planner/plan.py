@@ -169,6 +169,17 @@ class DeploymentState:
             rate = rates.get(idx, 0.0) if rates else 0.0
             self.add(p, rate)
 
+    def clone(self) -> "DeploymentState":
+        """Independent copy (placements are frozen and shared).
+
+        Used by incremental replanning to seed a hypothetical state with
+        the survivors of a previous plan without touching live state.
+        """
+        other = DeploymentState()
+        other._placements = dict(self._placements)
+        other.committed_rates = dict(self.committed_rates)
+        return other
+
     def placements(self) -> List[Placement]:
         return list(self._placements.values())
 

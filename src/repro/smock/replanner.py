@@ -68,11 +68,25 @@ class _Binding:
 
 
 class ReplanManager:
-    """Keeps deployments optimal as the network changes."""
+    """Keeps deployments optimal as the network changes.
 
-    def __init__(self, runtime: Any, monitor: NetworkMonitor) -> None:
+    ``incremental`` enables the planner fast path for *liveness*
+    triggers (node/link death or recovery): each binding's new plan is
+    seeded from the surviving placements of its previous plan (see
+    :mod:`repro.planner.incremental`), so only the subtree around the
+    failed host is re-solved.  Attribute triggers (a link turning
+    secure, a credential change) always replan from scratch — there the
+    previous structure is what must be reconsidered.  With
+    ``incremental=False`` every round replans from scratch, matching the
+    pre-fast-path behavior exactly.
+    """
+
+    def __init__(
+        self, runtime: Any, monitor: NetworkMonitor, incremental: bool = True
+    ) -> None:
         self.runtime = runtime
         self.monitor = monitor
+        self.incremental = incremental
         self.bundle = runtime.primary
         self.bindings: List[_Binding] = []
         self.events: List[ReplanEvent] = []
@@ -180,13 +194,29 @@ class ReplanManager:
             if placement.key in bundle.instances and self._is_primary(placement):
                 state.add(placement)
 
-        from ..planner.planner import ALGORITHMS
+        # Liveness triggers (a host died or came back) patch around the
+        # change: seed each binding's search from its previous plan's
+        # survivors.  Attribute triggers replan from scratch.
+        seed_from_previous = (
+            self.incremental
+            and trigger is not None
+            and trigger.kind in ("node", "link")
+            and trigger.attribute == "up"
+        )
+        installed_keys = set(bundle.instances.keys())
 
-        algo = ALGORITHMS[planner.algorithm]
         new_plans: List[Optional[DeploymentPlan]] = []
         for binding in self.bindings:
             try:
-                plan = algo(planner.ctx, binding.request, state, planner.objective)
+                if seed_from_previous:
+                    plan = planner.replan_incremental(
+                        binding.request,
+                        binding.plan,
+                        state=state,
+                        installed_keys=installed_keys,
+                    )
+                else:
+                    plan, _cached = planner.run_search(binding.request, state=state)
             except (PlanningError, NetworkError):
                 # E.g. the client's own node vanished: unservable, not
                 # a reason to abort the round for everyone else.

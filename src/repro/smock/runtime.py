@@ -72,9 +72,16 @@ class SmockRuntime:
         conflict_map: Optional[ConflictMap] = None,
         view_policy: Optional[Callable[[ViewDef, Any], FlushPolicy]] = None,
         obs: Optional[Observability] = None,
+        plan_cache: Any = None,
+        memoize: bool = True,
     ) -> None:
         self.network = network
         self.obs = resolve_obs(obs)
+        #: planner fast-path settings inherited by every service bundle
+        #: (see :class:`repro.planner.Planner`: ``None`` = private cache,
+        #: ``False`` = caching off; ``memoize`` toggles validity-check memos)
+        self._plan_cache_setting = plan_cache
+        self._memoize = memoize
         self.sim = sim or Simulator(obs=self.obs)
         if self.obs.tracer.enabled:
             # An externally-supplied simulator may carry a different (or
@@ -131,7 +138,8 @@ class SmockRuntime:
         view_policy: Optional[Callable[[ViewDef, Any], FlushPolicy]],
     ) -> ServiceBundle:
         planner = Planner(
-            spec, self.network, translator, objective, algorithm, obs=self.obs
+            spec, self.network, translator, objective, algorithm, obs=self.obs,
+            plan_cache=self._plan_cache_setting, memoize=self._memoize,
         )
         bundle = ServiceBundle(
             name=name,
@@ -392,6 +400,7 @@ class SmockRuntime:
         heartbeat_interval_ms: float = 250.0,
         miss_threshold: int = 3,
         detector_home: Optional[str] = None,
+        incremental: bool = True,
     ) -> Any:
         """Wire up the full recovery loop: monitor → detector → replanner.
 
@@ -399,7 +408,10 @@ class SmockRuntime:
         monitor, detector and manager are also stored on the runtime as
         ``monitor`` / ``failure_detector`` / ``replanner``.  Client
         bindings still need to be registered (``replanner.track`` /
-        ``track_access``) to be failed over.  Idempotent: a second call
+        ``track_access``) to be failed over.  ``incremental`` controls
+        whether liveness-triggered replan rounds seed their search from
+        each binding's previous plan (see
+        :mod:`repro.planner.incremental`).  Idempotent: a second call
         returns the existing manager.
         """
         existing = getattr(self, "replanner", None)
@@ -410,7 +422,7 @@ class SmockRuntime:
         from .replanner import ReplanManager
 
         monitor = NetworkMonitor(self.sim, self.network, poll_interval_ms)
-        replanner = ReplanManager(self, monitor)
+        replanner = ReplanManager(self, monitor, incremental=incremental)
         detector = FailureDetector(
             self,
             monitor,

@@ -1,0 +1,62 @@
+"""Incremental replanning converges to the full replan's deployment.
+
+Runs the chaos crash/restart scenario (the same fault plan as
+``test_chaos.py``) twice — once with incremental seeding, once replanning
+every binding from scratch — and checks both recovery loops end at the
+same deployment.  The tracked San Diego binding's optimal chain is
+unique, so the equality is placement-for-placement.
+"""
+
+from repro.experiments.mail_setup import build_mail_testbed
+from repro.faults import FaultInjector, FaultPlan
+from repro.smock import RetryPolicy
+
+
+def run_chaos_world(incremental: bool):
+    tb = build_mail_testbed(clients_per_site=2, flush_policy="count:500",
+                            algorithm="exhaustive")
+    rt = tb.runtime
+    replanner = rt.enable_self_healing(heartbeat_interval_ms=250.0,
+                                       miss_threshold=3,
+                                       incremental=incremental)
+    proxy = rt.run(rt.client_connect("sandiego-client1", {"User": "Bob"}))
+    proxy.retry_policy = RetryPolicy(timeout_ms=3000.0, max_retries=15, seed=1)
+    replanner.track_access(proxy, rt.generic_server.accesses[-1])
+
+    t0 = rt.sim.now
+    injector = FaultInjector(rt, FaultPlan.parse(
+        [f"crash:sandiego-gw@{t0 + 1000.0}",
+         f"restart:sandiego-gw@{t0 + 20000.0}"], seed=3))
+    injector.schedule()
+    rt.sim.run(until=t0 + 120_000.0)
+    rt.failure_detector.stop()
+    rt.monitor.stop()
+    return rt, replanner
+
+
+def linkage_set(plan):
+    return {
+        (plan.placements[l.client].key, plan.placements[l.server].key, l.interface)
+        for l in plan.linkages
+    }
+
+
+def test_incremental_replan_matches_full_replan():
+    rt_full, rep_full = run_chaos_world(incremental=False)
+    rt_inc, rep_inc = run_chaos_world(incremental=True)
+
+    for rep in (rep_full, rep_inc):
+        assert any("sandiego-client1" in e.rebound for e in rep.events), \
+            "binding was never rebound"
+
+    full_plan = rep_full.bindings[0].plan
+    inc_plan = rep_inc.bindings[0].plan
+    assert {p.key for p in full_plan.placements} == \
+        {p.key for p in inc_plan.placements}
+    assert linkage_set(full_plan) == linkage_set(inc_plan)
+
+    # Both recovered deployments are fully installed and on live hosts.
+    for rt, plan in ((rt_full, full_plan), (rt_inc, inc_plan)):
+        for p in plan.placements:
+            assert p.key in rt.instances
+            assert rt.network.node(p.node).up

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Documentation checker: links resolve, snippets run, examples run.
+
+Three phases, each selectable (all run by default):
+
+- ``--links``: every relative markdown link in the repo's ``*.md`` files
+  must point at an existing file/directory (anchors and external URLs
+  are ignored).
+- ``--snippets``: every ```` ```python ```` block in README.md and
+  ARCHITECTURE.md is executed; blocks within one file share a namespace
+  and run in order, so later blocks may use names an earlier one
+  defined.  Blocks containing a literal ``...`` placeholder, or
+  preceded by an ``<!-- no-run -->`` comment, are compile-checked but
+  not executed.  Execution happens in a scratch directory so snippets
+  may write files.
+- ``--examples``: every ``examples/*.py`` script must exit 0.
+
+Stdlib only; exit status is the number of failing checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+SNIPPET_FILES = ("README.md", "ARCHITECTURE.md")
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules", ".benchmarks"}
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(
+    r"(?P<prefix>(?:<!--\s*no-run\s*-->\s*\n)?)```python\n(?P<body>.*?)```",
+    re.DOTALL,
+)
+
+
+def iter_markdown_files() -> List[Path]:
+    files = []
+    for path in sorted(REPO.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.parts):
+            continue
+        files.append(path)
+    return files
+
+
+def check_links() -> List[str]:
+    failures = []
+    for md in iter_markdown_files():
+        text = md.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            if "/" not in target and "." not in target:
+                # Bare word: almost certainly prose that happens to look
+                # like a link (e.g. "ViewMailServer[TL=3](san)" in the
+                # Figure-6 chain notation), not a file reference.
+                continue
+            resolved = (md.parent / target).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{md.relative_to(REPO)}: broken link -> {match.group(1)}"
+                )
+    return failures
+
+
+def extract_snippets(md: Path) -> List[Tuple[int, str, bool]]:
+    """``(line_number, code, runnable)`` per python fence, in order."""
+    text = md.read_text(encoding="utf-8")
+    snippets = []
+    for match in FENCE_RE.finditer(text):
+        line = text[: match.start()].count("\n") + 1
+        body = match.group("body")
+        runnable = not match.group("prefix") and "..." not in body
+        snippets.append((line, body, runnable))
+    return snippets
+
+
+def check_snippets() -> List[str]:
+    failures = []
+    for name in SNIPPET_FILES:
+        md = REPO / name
+        if not md.exists():
+            failures.append(f"{name}: file missing")
+            continue
+        namespace: dict = {"__name__": f"snippet:{name}"}
+        with tempfile.TemporaryDirectory(prefix="docs-snippets-") as scratch:
+            cwd = os.getcwd()
+            os.chdir(scratch)
+            try:
+                for line, code, runnable in extract_snippets(md):
+                    label = f"{name}:{line}"
+                    try:
+                        compiled = compile(code, label, "exec")
+                    except SyntaxError as exc:
+                        failures.append(f"{label}: does not parse: {exc}")
+                        continue
+                    if not runnable:
+                        continue
+                    try:
+                        exec(compiled, namespace)
+                    except Exception as exc:  # noqa: BLE001 - report, don't crash
+                        failures.append(
+                            f"{label}: raised {type(exc).__name__}: {exc}"
+                        )
+            finally:
+                os.chdir(cwd)
+    return failures
+
+
+def check_examples() -> List[str]:
+    failures = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    for script in sorted((REPO / "examples").glob("*.py")):
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            cwd=REPO,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        if proc.returncode != 0:
+            tail = "\n".join(proc.stderr.strip().splitlines()[-5:])
+            failures.append(
+                f"examples/{script.name}: exit {proc.returncode}\n    {tail}"
+            )
+    return failures
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links", action="store_true")
+    parser.add_argument("--snippets", action="store_true")
+    parser.add_argument("--examples", action="store_true")
+    args = parser.parse_args(argv)
+    run_all = not (args.links or args.snippets or args.examples)
+
+    sys.path.insert(0, str(REPO / "src"))
+    failures: List[str] = []
+    if run_all or args.links:
+        failures += check_links()
+    if run_all or args.snippets:
+        failures += check_snippets()
+    if run_all or args.examples:
+        failures += check_examples()
+
+    for failure in failures:
+        print(f"FAIL {failure}")
+    if not failures:
+        print("docs OK")
+    return len(failures)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
