@@ -1,8 +1,16 @@
 """Scale benchmark: the full framework path as client count grows.
 
-Wall-clock cost of binding N dynamic clients at San Diego and running
-their workloads — shows the simulator + planner + runtime substrate
-scaling behavior rather than any paper figure.
+Two regimes:
+
+- **Dynamic** (1/3/5 clients): binding N planner-driven clients at San
+  Diego and running their workloads — simulator + planner + runtime
+  substrate together.  Client counts stay small because each dynamic
+  bind pays a full planning round.
+- **Static** (25/50/100 clients): hand-generated deployments bypass the
+  planner entirely, so these cells isolate the *runtime* hot path
+  (kernel dispatch, transport, proxy, coherence) at populations far
+  beyond the paper's five users.  The 100-client cell pushes 10k sends
+  through the framework.
 """
 
 import pytest
@@ -24,15 +32,35 @@ def test_dynamic_scenario_scale(benchmark, n_clients, report_lines):
     )
 
 
+@pytest.mark.parametrize("n_clients", [25, 50, 100])
+def test_static_scenario_scale(benchmark, n_clients, report_lines):
+    """SS500 with generated user rosters: 25/50/100 concurrent clients."""
+    result = benchmark.pedantic(
+        lambda: run_scenario(
+            "SS500", n_clients, clients_per_site=n_clients,
+            n_sends=100, n_receives=0,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert not result.errors
+    benchmark.extra_info["n_clients"] = n_clients
+    benchmark.extra_info["total_sends"] = n_clients * 100
+    benchmark.extra_info["mean_send_ms"] = round(result.mean_send_ms, 2)
+    report_lines.append(
+        f"Scale: SS500 with {n_clients} clients ({n_clients * 100} sends) -> "
+        f"send {result.mean_send_ms:.2f} ms, {result.coherence_syncs} syncs"
+    )
+
+
 def test_many_messages_throughput(benchmark, report_lines):
-    """1000 sends through the deployed chain: simulator throughput."""
+    """10k sends through the deployed chain: simulator throughput."""
 
     def run():
-        return run_scenario("DS0", 1, n_sends=1000, n_receives=0)
+        return run_scenario("DS0", 1, n_sends=10_000, n_receives=0)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert not result.errors
     assert result.mean_send_ms < 5.0
     report_lines.append(
-        f"Scale: 1000 sends, mean {result.mean_send_ms:.2f} ms each (simulated)"
+        f"Scale: 10000 sends, mean {result.mean_send_ms:.2f} ms each (simulated)"
     )

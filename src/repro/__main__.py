@@ -151,13 +151,20 @@ def cmd_mail(args: argparse.Namespace) -> int:
     """
     from .experiments import build_mail_testbed
     from .services.mail import DEFAULT_USERS, WorkloadConfig, mail_workload
+    from .services.mail import crypto
 
+    fast = not args.no_fast_path
+    crypto.configure_cache(fast)
     testbed = build_mail_testbed(
         clients_per_site=max(1, args.clients_per_site),
         flush_policy=args.flush_policy,
         algorithm=args.algorithm,
         plan_cache=False if args.no_plan_cache else None,
         memoize=not args.no_memo,
+        fast_path=fast,
+        compile_routes=fast,
+        proxy_fast_path=fast,
+        batch_coherence=fast,
     )
     runtime = testbed.runtime
     sites = args.sites
@@ -309,6 +316,11 @@ def main(argv=None) -> int:
                     help="make fault-triggered replans search from scratch "
                          "instead of seeding from the previous plan's "
                          "surviving placements")
+    fp.add_argument("--no-fast-path", action="store_true",
+                    help="disable every runtime hot-path variant (kernel "
+                         "tight loop, compiled routes, proxy fast path, "
+                         "batched coherence fan-out, crypto memo caches); "
+                         "simulated results are identical either way")
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

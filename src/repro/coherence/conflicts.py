@@ -22,9 +22,10 @@ __all__ = ["Update", "ConflictMap", "AttributeConflictMap"]
 ViewConfig = Tuple[str, Tuple[Tuple[str, Any], ...]]  # (unit, sorted factors)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Update:
-    """One buffered state mutation at a replica."""
+    """One buffered state mutation at a replica (slotted: replicas
+    buffer hundreds of these per flush window)."""
 
     op: str
     attributes: Mapping[str, Any] = field(default_factory=dict)

@@ -83,6 +83,7 @@ class CoherenceDirectory:
         self,
         conflict_map: Optional[ConflictMap] = None,
         obs: Optional[Observability] = None,
+        batch_propagation: bool = True,
     ) -> None:
         self.conflict_map = conflict_map or ConflictMap()
         self._primaries: Dict[str, Any] = {}
@@ -91,6 +92,21 @@ class CoherenceDirectory:
         self._next_id = 0
         self.stats = CoherenceStats()
         self.obs = resolve_obs(obs)
+        #: knob: batched fan-out scans the drained batch once per distinct
+        #: replica *config* instead of once per replica (the predicate
+        #: depends only on (update, config), so replicas sharing a config
+        #: receive the identical conflicting sub-batch either way).
+        self.batch_propagation = batch_propagation
+        # Metric handles resolved once: on_local_update runs per client
+        # send and must not pay registry lookups (engine.Simulator pattern).
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            self._m_local_updates = metrics.counter("coherence.local_updates")
+        else:
+            self._m_local_updates = None
+        #: per-family (invalidations, conflict_map_hits) counter handles,
+        #: resolved on first broadcast for that family.
+        self._inval_counters: Dict[str, Tuple[Any, Any]] = {}
 
     # -- registration -------------------------------------------------------
     def register_primary(self, family: str, host: Any) -> None:
@@ -141,7 +157,8 @@ class CoherenceDirectory:
         entry.pending_units += update.multiplicity
         self.stats.local_updates += 1
         self.stats.buffered_units += update.multiplicity
-        self.obs.metrics.inc("coherence.local_updates")
+        if self._m_local_updates is not None:
+            self._m_local_updates.inc()
         return entry.policy.should_flush(entry.pending_units, now_ms, entry.last_flush_ms)
 
     def needs_flush(self, replica_id: int, now_ms: float) -> bool:
@@ -218,6 +235,41 @@ class CoherenceDirectory:
         linkages like any other miss.
         """
         delivered = 0
+        if self.batch_propagation:
+            # Fast path: one conflict-map scan per distinct config, the
+            # resulting sub-batch shared by every replica with that
+            # config (hosts only read the list).  Same deliveries, same
+            # counters, same metric increments as the per-replica loop.
+            conflicts = self.conflict_map.conflicts
+            stats = self.stats
+            by_config: Dict[ViewConfig, List[Update]] = {}
+            for entry in self.replicas_of(family):
+                config = entry.config
+                if origin_config is not None and config == origin_config:
+                    continue
+                conflicting = by_config.get(config)
+                if conflicting is None:
+                    conflicting = by_config[config] = [
+                        u for u in batch if conflicts(u, config)
+                    ]
+                if not conflicting:
+                    continue
+                entry.host.on_invalidate(conflicting)
+                delivered += 1
+                n = len(conflicting)
+                stats.invalidations += n
+                stats.conflict_map_hits += n
+                if self._m_local_updates is not None:
+                    handles = self._inval_counters.get(family)
+                    if handles is None:
+                        m = self.obs.metrics
+                        handles = self._inval_counters[family] = (
+                            m.counter("coherence.invalidations", family=family),
+                            m.counter("coherence.conflict_map_hits"),
+                        )
+                    handles[0].inc(n)
+                    handles[1].inc(n)
+            return delivered
         for entry in self.replicas_of(family):
             if origin_config is not None and entry.config == origin_config:
                 continue

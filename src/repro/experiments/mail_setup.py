@@ -48,6 +48,11 @@ def build_mail_testbed(
     users=DEFAULT_USERS,
     plan_cache=None,
     memoize: bool = True,
+    fast_path: bool = True,
+    compile_routes: bool = True,
+    proxy_fast_path: bool = True,
+    batch_coherence: bool = True,
+    obs=None,
 ) -> MailTestbed:
     """The standard case-study testbed.
 
@@ -63,6 +68,11 @@ def build_mail_testbed(
     ``plan_cache`` / ``memoize`` pass through to
     :class:`~repro.planner.Planner` (``plan_cache=False`` disables plan
     caching; ``memoize=False`` disables validity-check memoization).
+
+    ``fast_path`` / ``compile_routes`` / ``proxy_fast_path`` /
+    ``batch_coherence`` pass through to :class:`SmockRuntime` — the
+    runtime hot-path knobs (see ARCHITECTURE.md), used by the
+    determinism tests to pin fast-on vs fast-off equivalence.
     """
     spec = build_mail_spec()
     topo = build_fig5_network(clients_per_site=clients_per_site)
@@ -83,6 +93,11 @@ def build_mail_testbed(
         view_policy=view_policy,
         plan_cache=plan_cache,
         memoize=memoize,
+        fast_path=fast_path,
+        compile_routes=compile_routes,
+        proxy_fast_path=proxy_fast_path,
+        batch_coherence=batch_coherence,
+        obs=obs,
     )
     runtime.service_state["mail_users"] = tuple(users)
     for name, cls in MAIL_COMPONENT_CLASSES.items():

@@ -26,7 +26,7 @@ class MailStoreError(ValueError):
     """Unknown account, sensitivity violation, or malformed message."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StoredMessage:
     """One e-mail message as held by a store (body already encrypted)."""
 

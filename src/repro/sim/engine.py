@@ -43,7 +43,9 @@ class Simulator:
     into it as ``(time, repr(event))`` tuples).
     """
 
-    def __init__(self, obs: Optional[Observability] = None) -> None:
+    def __init__(
+        self, obs: Optional[Observability] = None, fast_path: bool = True
+    ) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
@@ -62,6 +64,22 @@ class Simulator:
         self._capture_events = (
             self.obs.capture_sim_events and self.obs.tracer.enabled
         )
+        #: constructor knob: False pins run()/run_until_complete() to the
+        #: fully instrumented step() loop even when nothing observes it.
+        self._fast_path_allowed = fast_path
+        self._refresh_fast_path()
+
+    def _refresh_fast_path(self) -> None:
+        """Select the dispatch loop once, the way __init__ resolves
+        metric handles: the tight loop is only legal when no per-event
+        observer (legacy trace list, event counter, sim.dispatch
+        capture) needs a hook inside it."""
+        self._fast = (
+            self._fast_path_allowed
+            and self._trace is None
+            and self._evt_counter is None
+            and not self._capture_events
+        )
 
     # -- legacy trace shim -------------------------------------------------
     @property
@@ -77,6 +95,7 @@ class Simulator:
     @trace.setter
     def trace(self, value: Optional[List[Tuple[float, str]]]) -> None:
         self._trace = value
+        self._refresh_fast_path()
 
     # -- clock ------------------------------------------------------------
     @property
@@ -165,6 +184,32 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         try:
+            if self._fast:
+                # Tight-loop variant of the while-step() below: same pop,
+                # same monotonicity check, same dispatch — minus the
+                # per-event method call and observer branches, which the
+                # constructor established nobody is watching.
+                heap = self._heap
+                pop = heapq.heappop
+                while heap:
+                    if until is not None and heap[0][0] >= until:
+                        self._now = until
+                        break
+                    when, _seq, event = pop(heap)
+                    if when < self._now:
+                        raise SimulationError(
+                            "event list corrupted: time went backwards"
+                        )
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if callbacks:
+                        for fn in callbacks:
+                            fn(event)
+                else:
+                    if until is not None and until > self._now:
+                        self._now = until
+                return self._now
             while self._heap:
                 if until is not None and self._heap[0][0] >= until:
                     self._now = until
@@ -185,6 +230,29 @@ class Simulator:
         this, a chaos-test stack trace says *what* broke but not *who*
         or *when* on the virtual clock.
         """
+        if self._fast:
+            heap = self._heap
+            pop = heapq.heappop
+            while not proc.triggered:
+                if not heap:
+                    raise SimulationError(
+                        f"deadlock: event list empty but {proc!r} not finished"
+                    )
+                if heap[0][0] > limit:
+                    raise SimulationError(
+                        f"time limit {limit} exceeded waiting on {proc!r}"
+                    )
+                when, _seq, event = pop(heap)
+                if when < self._now:
+                    raise SimulationError(
+                        "event list corrupted: time went backwards"
+                    )
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for fn in callbacks:
+                        fn(event)
         while not proc.triggered:
             if not self._heap:
                 raise SimulationError(

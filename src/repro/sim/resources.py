@@ -30,6 +30,8 @@ class Resource:
             resource.release()
     """
 
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters", "_busy_area", "_last_change")
+
     def __init__(self, sim: Simulator, capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -106,6 +108,8 @@ class Store:
     oldest item (immediately if one is available).
     """
 
+    __slots__ = ("sim", "_items", "_getters")
+
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._items: Deque[Any] = deque()
@@ -141,6 +145,8 @@ class Monitor:
     Lightweight replacement for pulling in a stats package in the hot
     path: constant-time ``observe`` and O(n log n) percentile queries.
     """
+
+    __slots__ = ("name", "samples")
 
     def __init__(self, name: str = "") -> None:
         self.name = name

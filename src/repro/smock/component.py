@@ -14,9 +14,10 @@ declared per-request CPU on its node before dispatching.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
 
-from ..sim import SimNode, Simulator
+from ..network import NetworkError
+from ..sim import FaultError, NodeDownError, SimNode, Simulator
 from ..sim.resources import Monitor
 from ..spec import ComponentDef
 from .messages import RequestError, ServiceRequest, ServiceResponse
@@ -25,6 +26,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .runtime import SmockRuntime
 
 __all__ = ["RuntimeComponent", "ServerStub"]
+
+#: per-class op dispatch tables (op name -> unbound handler), built once —
+#: ``serve`` runs per simulated message and getattr-with-f-string per call
+#: shows up at benchmark scale.  ``op_<name> = None`` class attributes
+#: deliberately do NOT enter the table: they mean "interface narrowed away",
+#: and must keep producing the "has no op" failure response.
+_DISPATCH_TABLES: Dict[type, Dict[str, Callable[..., Any]]] = {}
+
+
+def _dispatch_table(cls: type) -> Dict[str, Callable[..., Any]]:
+    table = _DISPATCH_TABLES.get(cls)
+    if table is None:
+        table = {}
+        for name in dir(cls):
+            if name.startswith("op_"):
+                handler = getattr(cls, name)
+                if handler is not None:
+                    table[name[3:]] = handler
+        _DISPATCH_TABLES[cls] = table
+    return table
 
 
 class ServerStub:
@@ -51,9 +72,6 @@ class ServerStub:
         *retryable* failure response, not an exception — callers decide
         whether to retry, fail over, or report upstream.
         """
-        from ..network import NetworkError
-        from ..sim import FaultError
-
         self.calls += 1
         transport = self.runtime.transport
         try:
@@ -104,6 +122,14 @@ class RuntimeComponent:
         self.latency = Monitor(f"component:{instance_id}")
         self.requests_served = 0
         self.requests_forwarded = 0
+        # Hot-path handles, resolved once: unit/node/factor_values are
+        # fixed for the instance's lifetime, so the label string, CPU
+        # charge, and op dispatch table never change after construction.
+        factors = ",".join(f"{k}={v}" for k, v in sorted(self.factor_values.items()))
+        suffix = f"[{factors}]" if factors else ""
+        self._label = f"{self.unit.name}{suffix}@{self.node.name}"
+        self._cpu_per_request = unit.behaviors.cpu_per_request
+        self._ops = _dispatch_table(type(self))
         #: set by fault injection when the hosting node crashes; the live
         #: instance is gone for good — a restarted node comes back empty
         #: and only replanning re-installs components.
@@ -126,9 +152,7 @@ class RuntimeComponent:
 
     @property
     def label(self) -> str:
-        factors = ",".join(f"{k}={v}" for k, v in sorted(self.factor_values.items()))
-        suffix = f"[{factors}]" if factors else ""
-        return f"{self.unit.name}{suffix}@{self.node_name}"
+        return self._label
 
     # -- lifecycle hooks ------------------------------------------------------
     def on_install(self) -> None:
@@ -167,29 +191,28 @@ class RuntimeComponent:
         the whole request chain (the wrapper's "special environment"
         isolates components from each other).
         """
-        from ..sim import FaultError, NodeDownError
-
         if self.failed or not self.node.up:
-            raise NodeDownError(f"{self.label}: host {self.node_name} is down")
-        start = self.sim.now
-        req.trace.append(self.label)
-        yield from self.node.execute(self.unit.behaviors.cpu_per_request)
+            raise NodeDownError(f"{self._label}: host {self.node_name} is down")
+        sim = self.runtime.sim
+        start = sim.now
+        req.trace.append(self._label)
+        yield from self.node.execute(self._cpu_per_request)
         try:
             resp = yield from self.dispatch(req)
         except FaultError:
             raise  # infrastructure fault, not a component bug: propagate
         except Exception as exc:  # noqa: BLE001 - fault isolation boundary
-            resp = ServiceResponse.failure(f"{self.label}: {type(exc).__name__}: {exc}")
+            resp = ServiceResponse.failure(f"{self._label}: {type(exc).__name__}: {exc}")
         self.requests_served += 1
-        self.latency.observe(self.sim.now - start)
+        self.latency.observe(sim.now - start)
         return resp
 
     def dispatch(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
         """Route ``req.op`` to an ``op_<name>`` generator method."""
-        handler = getattr(self, f"op_{req.op}", None)
+        handler = self._ops.get(req.op)
         if handler is None:
             return ServiceResponse.failure(f"{self.unit.name} has no op {req.op!r}")
-        resp = yield from handler(req)
+        resp = yield from handler(self, req)
         return resp
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

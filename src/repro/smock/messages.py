@@ -21,9 +21,14 @@ class RequestError(RuntimeError):
     """A component rejected or failed to serve a request."""
 
 
-@dataclass
+@dataclass(slots=True)
 class ServiceRequest:
-    """One operation invocation travelling down a linkage chain."""
+    """One operation invocation travelling down a linkage chain.
+
+    Slotted: one instance (often two or three, counting per-hop children)
+    exists per simulated message, so the dict-free layout is measurable
+    at benchmark scale.
+    """
 
     op: str
     payload: Dict[str, Any] = field(default_factory=dict)
@@ -52,7 +57,7 @@ class ServiceRequest:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class ServiceResponse:
     """The reply travelling back up."""
 

@@ -110,6 +110,20 @@ class ServiceProxy:
         self.latency = Monitor(f"proxy:{client_node}")
         self.retries = 0
         self.timeouts = 0
+        # Fast-path eligibility, resolved once at bind time: with tracing
+        # and metrics off and no retry policy, request() skips span and
+        # registry plumbing entirely.  Tracer/metrics enablement is fixed
+        # for an Observability bundle's lifetime, so this cannot go stale;
+        # retry_policy is re-checked per request (tests swap it in place).
+        obs = runtime.obs
+        self._fast = (
+            getattr(runtime, "proxy_fast_path", True)
+            and not obs.tracer.enabled
+            and not obs.metrics.enabled
+        )
+        #: per-op histogram handles, resolved on first use (the
+        #: engine.Simulator pattern) — only populated when metrics are on.
+        self._op_hist: Dict[str, Any] = {}
 
     def rebind(self, root: RuntimeComponent) -> None:
         """Point this proxy at a new root instance (failover replanning).
@@ -131,8 +145,20 @@ class ServiceProxy:
         response_is_error: bool = False,
     ) -> Generator[Any, Any, ServiceResponse]:
         """Process generator: one service operation, end to end."""
-        obs = self.runtime.obs
         sim = self.runtime.sim
+        if self._fast and self.retry_policy is None:
+            # Same events in the same order as below — the span is a
+            # no-op NULL_SPAN and the metrics call a disabled-registry
+            # early return, both skipped here.
+            start = sim.now
+            req = ServiceRequest(
+                op=op, payload=dict(payload or {}), size_bytes=size_bytes,
+                user=self.user,
+            )
+            resp = yield from self._stub.request(req)
+            self.latency.observe(sim.now - start)
+            return resp
+        obs = self.runtime.obs
         start = sim.now
         span = obs.tracer.start_span(
             "request", op=op, client_node=self.client_node
@@ -147,7 +173,14 @@ class ServiceProxy:
         elapsed = sim.now - start
         self.latency.observe(elapsed)
         span.finish(status=None if resp.ok else "error")
-        obs.metrics.observe("smock.request_sim_ms", elapsed, op=op)
+        metrics = obs.metrics
+        if metrics.enabled:
+            hist = self._op_hist.get(op)
+            if hist is None:
+                hist = self._op_hist[op] = metrics.histogram(
+                    "smock.request_sim_ms", op=op
+                )
+            hist.observe(elapsed)
         return resp
 
     def _robust_request(

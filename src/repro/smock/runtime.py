@@ -74,6 +74,10 @@ class SmockRuntime:
         obs: Optional[Observability] = None,
         plan_cache: Any = None,
         memoize: bool = True,
+        fast_path: bool = True,
+        compile_routes: bool = True,
+        proxy_fast_path: bool = True,
+        batch_coherence: bool = True,
     ) -> None:
         self.network = network
         self.obs = resolve_obs(obs)
@@ -82,13 +86,20 @@ class SmockRuntime:
         #: ``False`` = caching off; ``memoize`` toggles validity-check memos)
         self._plan_cache_setting = plan_cache
         self._memoize = memoize
-        self.sim = sim or Simulator(obs=self.obs)
+        #: runtime hot-path knobs (see ARCHITECTURE.md "hot path"): each
+        #: layer's fast variant is behaviourally identical to the slow
+        #: one — the knobs exist for benchmarking and bisection.
+        self.proxy_fast_path = proxy_fast_path
+        self.batch_coherence = batch_coherence
+        self.sim = sim or Simulator(obs=self.obs, fast_path=fast_path)
         if self.obs.tracer.enabled:
             # An externally-supplied simulator may carry a different (or
             # null) obs; bind our tracer to whichever clock we ended up
             # with so spans always get simulated durations.
             self.obs.tracer.bind_sim_clock(lambda: self.sim.now)
-        self.transport = RuntimeTransport(self.sim, network)
+        self.transport = RuntimeTransport(
+            self.sim, network, compile_routes=compile_routes
+        )
         first_node = next(iter(network.nodes())).name
         self.lookup_node = lookup_node or first_node
         self.server_node = server_node or self.lookup_node
@@ -146,7 +157,10 @@ class SmockRuntime:
             spec=spec,
             planner=planner,
             server=None,  # type: ignore[arg-type]  (set right below)
-            coherence=CoherenceDirectory(conflict_map, obs=self.obs),
+            coherence=CoherenceDirectory(
+                conflict_map, obs=self.obs,
+                batch_propagation=self.batch_coherence,
+            ),
             code_base_node=code_base_node,
             view_policy=view_policy or (lambda view, instance: NeverPolicy()),
         )

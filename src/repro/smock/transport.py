@@ -12,17 +12,32 @@ message is simply gone), and an installed :class:`FaultHook` can drop or
 delay individual messages, modeling lossy links.  A dropped message
 hangs its delivery generator forever — silent loss, exactly what a
 client-side timeout exists to bound.
+
+Hot path: :meth:`RuntimeTransport.deliver` used to re-resolve the route,
+each link, each far end and each arrival node per message, then drive a
+nested ``SimLink.transfer`` generator per hop.  Steady-state traffic
+repeats the same (src, dst) pairs millions of times, so the transport
+now *compiles* each pair once into a flat hop schedule
+(:class:`CompiledRoute`: transmit resource, serialization divisor,
+latency, arrival node per hop) and replays it with zero lookups and a
+single generator frame.  Compiled routes are invalidated with the
+topology's route cache — any :meth:`Network.version` bump (link
+add/remove, liveness flip, ``touch()``) drops them, exactly the events
+that can change ``Network.path``.  The walk yields the same events in
+the same order with the same timestamps as the uncompiled loop, and
+keeps the same per-link stats; ``compile_routes=False`` restores the
+original per-hop resolution path byte for byte.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..network import Network
-from ..sim import NodeDownError, SimLink, SimNode, Simulator
+from ..sim import LinkDownError, NodeDownError, SimLink, SimNode, Simulator
 from ..sim.resources import Monitor
 
-__all__ = ["RuntimeTransport", "FaultHook"]
+__all__ = ["RuntimeTransport", "FaultHook", "CompiledRoute"]
 
 
 def _key(a: str, b: str) -> Tuple[str, str]:
@@ -44,10 +59,32 @@ class FaultHook:
         return None
 
 
+class CompiledRoute:
+    """One (src, dst) pair flattened into a per-hop schedule.
+
+    Each entry of :attr:`hops` pre-resolves everything the delivery walk
+    needs: ``(link, tx, bw_bps, latency_ms, arrival_node, hop_a, hop_b)``
+    where ``tx`` is the transmit :class:`~repro.sim.resources.Resource`
+    for the traversal direction and ``bw_bps`` is ``bandwidth_mbps * 1e6``
+    (zero for infinitely fast links) — kept as the exact intermediate
+    :meth:`SimLink.serialization_ms` computes, so replayed transfer
+    times are bit-identical to the uncompiled path.
+    """
+
+    __slots__ = ("src", "dst", "hops")
+
+    def __init__(self, src: str, dst: str, hops: Tuple[Tuple, ...]) -> None:
+        self.src = src
+        self.dst = dst
+        self.hops = hops
+
+
 class RuntimeTransport:
     """Owns the live SimNodes/SimLinks mirroring a :class:`Network`."""
 
-    def __init__(self, sim: Simulator, network: Network) -> None:
+    def __init__(
+        self, sim: Simulator, network: Network, compile_routes: bool = True
+    ) -> None:
         self.sim = sim
         self.network = network
         self.nodes, self.links = network.materialize(sim)
@@ -58,6 +95,22 @@ class RuntimeTransport:
         #: exact pre-fault-tolerance fast path.
         self.fault_hook: Optional[FaultHook] = None
         self.messages_dropped = 0
+        #: knob: False disables route compilation entirely (the per-hop
+        #: resolution path below is then the only delivery loop).
+        self.compile_routes = compile_routes
+        self._routes: Dict[Tuple[str, str], CompiledRoute] = {}
+        #: network.version the compiled cache was built against; any
+        #: topology mutation bumps it and strands this epoch.
+        self._routes_version = network.version
+        # Metric handles resolved once (the engine.Simulator pattern):
+        # deliver() runs per message and must not pay registry lookups.
+        metrics = sim.obs.metrics
+        if metrics.enabled:
+            self._m_compiled = metrics.counter("transport.routes_compiled")
+            self._m_hits = metrics.counter("transport.route_cache_hits")
+        else:
+            self._m_compiled = None
+            self._m_hits = None
 
     def node(self, name: str) -> SimNode:
         return self.nodes[name]
@@ -65,6 +118,42 @@ class RuntimeTransport:
     def link(self, a: str, b: str) -> SimLink:
         return self.links[_key(a, b)]
 
+    # -- route compilation -------------------------------------------------
+    def _compile(self, src: str, dst: str) -> CompiledRoute:
+        """Flatten the current lowest-latency path into a hop schedule."""
+        path = self.network.path(src, dst)
+        hops: List[Tuple] = []
+        cur = src
+        for hop in path.hops:
+            link = self.links[_key(hop.a, hop.b)]
+            tx = link._tx[cur if cur in link._tx else link.a]
+            bw_bps = link.bandwidth_mbps * 1e6 if link.bandwidth_mbps > 0 else 0.0
+            nxt = link.other_end(cur)
+            hops.append(
+                (link, tx, bw_bps, link.latency_ms, self.nodes[nxt], hop.a, hop.b)
+            )
+            cur = nxt
+        route = CompiledRoute(src, dst, tuple(hops))
+        if self._m_compiled is not None:
+            self._m_compiled.inc()
+        return route
+
+    def route(self, src: str, dst: str) -> CompiledRoute:
+        """The compiled hop schedule for (src, dst), rebuilt on topology
+        epoch changes (compiled caching piggybacks on the same
+        ``Network.version`` counter that guards the path cache)."""
+        if self._routes_version != self.network.version:
+            self._routes.clear()
+            self._routes_version = self.network.version
+        key = (src, dst)
+        route = self._routes.get(key)
+        if route is None:
+            route = self._routes[key] = self._compile(src, dst)
+        elif self._m_hits is not None:
+            self._m_hits.inc()
+        return route
+
+    # -- delivery ----------------------------------------------------------
     def deliver(self, src: str, dst: str, size_bytes: int) -> Generator[Any, Any, None]:
         """Process generator: move ``size_bytes`` from ``src`` to ``dst``.
 
@@ -76,9 +165,43 @@ class RuntimeTransport:
         """
         if src == dst:
             return
+        hook = self.fault_hook
+        if hook is None and self.compile_routes:
+            # Fast path: replay the compiled walk.  Mirrors the slow
+            # path below plus the inlined body of SimLink.transfer —
+            # identical checks, events, timestamps, and stats.
+            sim = self.sim
+            start = sim.now
+            for link, tx, bw_bps, latency_ms, arrival, _a, _b in self.route(
+                src, dst
+            ).hops:
+                if not link.up:
+                    raise LinkDownError(f"link {link.name} is partitioned")
+                hop_start = sim.now
+                yield tx.request()
+                try:
+                    if bw_bps:
+                        yield sim.timeout((size_bytes * 8) / bw_bps * 1e3)
+                    else:
+                        yield sim.timeout(0.0)
+                finally:
+                    tx.release()
+                if not link.up:
+                    raise LinkDownError(f"link {link.name} partitioned mid-transfer")
+                yield sim.timeout(latency_ms)
+                link.bytes_carried += size_bytes
+                link.stats.observe(sim.now - hop_start)
+                if not arrival.up:
+                    raise NodeDownError(
+                        f"message {src} -> {dst} arrived at crashed node "
+                        f"{arrival.name!r}"
+                    )
+            self.messages_sent += 1
+            self.bytes_sent += size_bytes
+            self.stats.observe(sim.now - start)
+            return
         start = self.sim.now
         path = self.network.path(src, dst)
-        hook = self.fault_hook
         cur = src
         for hop in path.hops:
             if hook is not None:
