@@ -10,6 +10,7 @@ Commands regenerate the paper's artifacts or validate user specs:
 - ``validate``  — parse + validate a service spec file (readable or XML)
 - ``plan``      — plan the mail service for a client at a given site
 - ``mail``      — run the mail service end to end on the Smock runtime
+- ``chaos-sweep`` — seeded chaos runs with post-quiescence invariants
 
 Every command accepts the observability options::
 
@@ -165,6 +166,7 @@ def cmd_mail(args: argparse.Namespace) -> int:
         compile_routes=fast,
         proxy_fast_path=fast,
         batch_coherence=fast,
+        versioned_coherence=not args.no_versioned_coherence,
     )
     runtime = testbed.runtime
     sites = args.sites
@@ -285,8 +287,90 @@ def cmd_mail(args: argparse.Namespace) -> int:
             f"          {retries} retries, {timeouts} request timeouts, "
             f"{stats.lost_updates} lost updates ({stats.lost_units} units)"
         )
+        log.info(
+            f"          {stats.recovered_updates} recovered via anti-entropy, "
+            f"{stats.duplicates_rejected} duplicates rejected, "
+            f"{stats.degraded_reads} degraded reads, "
+            f"{stats.degraded_writes} degraded writes"
+        )
     log.info(f"simulated time: {runtime.sim.now:.1f} ms")
     return 0
+
+
+def cmd_chaos_sweep(args: argparse.Namespace) -> int:
+    """Seeded chaos sweep: generate a fault plan per seed, run the mail
+    scenario under it, and check the post-quiescence invariants
+    (durability of acked sends, replica convergence, client re-binding,
+    and — with ``--check-determinism`` — same-seed reproducibility)."""
+    import json as _json
+    import os
+
+    from .chaos import ChaosCaseConfig, run_chaos_case
+
+    config = ChaosCaseConfig(
+        n_sends=args.sends,
+        n_receives=args.receives,
+        n_faults=args.faults,
+        horizon_ms=args.horizon,
+        kinds=args.kinds or None,
+        versioned_coherence=not args.no_versioned_coherence,
+    )
+    seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+    log.info(
+        f"chaos-sweep: {len(seeds)} seeds, {config.n_faults} faults over "
+        f"{config.horizon_ms:.0f} ms each, versioned="
+        f"{config.versioned_coherence}"
+    )
+    failures = []
+    log.info(f"{'seed':>6}  {'ok':2}  {'acked':>5}  {'retries':>7}  "
+             f"{'recovered':>9}  {'degraded':>8}  {'dup-rej':>7}  faults")
+    for seed in seeds:
+        result = run_chaos_case(seed, config)
+        if args.check_determinism:
+            rerun = run_chaos_case(seed, config)
+            if rerun.signature != result.signature:
+                result.violations.append(
+                    f"determinism: two runs of seed {seed} diverged "
+                    f"({result.signature[:12]} vs {rerun.signature[:12]})"
+                )
+        ok = "ok" if result.ok else "NO"
+        kinds = ",".join(sorted({line.split(":", 1)[0] for line in result.plan}))
+        log.info(
+            f"{seed:>6}  {ok:2}  {result.acked_sends:>5}  "
+            f"{result.stats['retries']:>7}  "
+            f"{result.stats['recovered_updates']:>9}  "
+            f"{result.stats['degraded_reads'] + result.stats['degraded_writes']:>8}  "
+            f"{result.stats['duplicates_rejected']:>7}  {kinds}"
+        )
+        for violation in result.violations:
+            log.error(f"        {violation}")
+        if not result.ok:
+            failures.append(result)
+
+    log.info(
+        f"chaos-sweep: {len(seeds) - len(failures)}/{len(seeds)} seeds passed "
+        f"every invariant"
+    )
+    if failures and args.artifacts:
+        os.makedirs(args.artifacts, exist_ok=True)
+        for result in failures:
+            path = os.path.join(args.artifacts, f"seed-{result.seed}.json")
+            with open(path, "w") as fh:
+                _json.dump(
+                    {
+                        "seed": result.seed,
+                        "plan": result.plan,
+                        "violations": result.violations,
+                        "signature": result.signature,
+                        "stats": result.stats,
+                        "workload_errors": result.workload_errors,
+                    },
+                    fh,
+                    indent=2,
+                )
+        log.info(f"chaos-sweep: wrote {len(failures)} failure artifacts "
+                 f"to {args.artifacts}")
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
@@ -384,15 +468,28 @@ def main(argv=None) -> int:
                         '"write_through")')
     p.add_argument("--algorithm", default="dp_chain",
                    choices=["exhaustive", "dp_chain", "partial_order"])
+    p.add_argument("--no-versioned-coherence", action="store_true",
+                   help="fail-stop coherence: no update version stamps, no "
+                        "duplicate rejection, no degraded-mode reads/writes, "
+                        "no anti-entropy replay of lost buffers (the "
+                        "pre-partition-tolerance behavior, byte-identical "
+                        "to it)")
     chaos = p.add_argument_group("chaos")
     chaos.add_argument("--chaos", action="append", metavar="SPEC", default=[],
                        help="inject a fault (repeatable); SPEC is e.g. "
                             '"crash:sandiego-gw@2000", "restart:NODE@T", '
                             '"partition:A/B@T", "heal:A/B@T", '
-                            '"drop:A/B:P@T1-T2", "delay:A/B:MS@T1-T2"; times '
-                            "are ms after workload start. Enables heartbeat "
-                            "failure detection, failover replanning, and "
-                            "client retry.")
+                            '"drop:A/B:P@T1-T2", "delay:A/B:MS@T1-T2", '
+                            '"duplicate:A/B:P@T1-T2" (re-deliver fraction P), '
+                            '"reorder:A/B:MS@T1-T2" (hold messages up to MS '
+                            "so later ones overtake), "
+                            '"corrupt:A/B:P@T1-T2" (garble fraction P; the '
+                            "receiver rejects them), "
+                            '"split:A,B|C,D@T1-T2" (sever every link between '
+                            "the groups, heal at T2); times are ms after "
+                            "workload start. Enables heartbeat failure "
+                            "detection, failover replanning, and client "
+                            "retry.")
     chaos.add_argument("--chaos-seed", type=int, default=0,
                        help="RNG seed for probabilistic faults")
     chaos.add_argument("--chaos-horizon", type=float, default=600_000.0,
@@ -409,6 +506,36 @@ def main(argv=None) -> int:
                        help="retry budget per request; size it to outlive "
                             "the longest outage in the fault plan")
     p.set_defaults(fn=cmd_mail)
+
+    p = sub.add_parser(
+        "chaos-sweep",
+        help="run seeded chaos cases and check invariants",
+        parents=[obs_parser],
+    )
+    p.add_argument("--seeds", type=int, default=20,
+                   help="number of seeds to run (default 20)")
+    p.add_argument("--seed-base", type=int, default=0,
+                   help="first seed (cases run seed-base .. seed-base+seeds-1)")
+    p.add_argument("--faults", type=int, default=3,
+                   help="faults generated per case")
+    p.add_argument("--horizon", type=float, default=60_000.0,
+                   help="fault-schedule horizon per case (sim ms)")
+    p.add_argument("--sends", type=int, default=30,
+                   help="sends per workload client (one client per site)")
+    p.add_argument("--receives", type=int, default=5,
+                   help="fetches per workload client")
+    p.add_argument("--kinds", nargs="*", default=None,
+                   metavar="KIND",
+                   help="restrict generated faults to these kinds (e.g. "
+                        "crash split duplicate)")
+    p.add_argument("--check-determinism", action="store_true",
+                   help="run every seed twice and require identical run "
+                        "signatures")
+    p.add_argument("--no-versioned-coherence", action="store_true",
+                   help="sweep under fail-stop coherence instead")
+    p.add_argument("--artifacts", metavar="DIR", default=None,
+                   help="write a JSON artifact per failing seed into DIR")
+    p.set_defaults(fn=cmd_chaos_sweep)
 
     args = parser.parse_args(argv)
     configure_logging(level=args.log_level, json_output=args.log_json)

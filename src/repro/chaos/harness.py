@@ -1,0 +1,292 @@
+"""Deterministic end-to-end chaos harness.
+
+:func:`run_chaos_case` runs one seeded chaos experiment: build the
+Figure 5 mail testbed, enable self-healing, bind one workload client
+per site, inject the seed's generated fault schedule
+(:func:`~repro.chaos.plangen.generate_fault_plan`), drive the run to
+quiescence, perform a final anti-entropy sweep, and evaluate the
+:mod:`~repro.chaos.invariants`.  Everything stochastic derives from the
+seed, so the same seed reproduces the same run exactly — pinned by the
+run *signature*, a hash over every externally observable outcome.
+
+:func:`run_chaos_sweep` maps the harness over many seeds;
+:func:`check_determinism` runs one seed twice and compares signatures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..experiments.mail_setup import build_mail_testbed
+from ..experiments.topology_fig5 import SITE_TRUST, SITES
+from ..faults import FaultInjector
+from ..network import NetworkError
+from ..obs import Observability, use_obs
+from ..services.mail import DEFAULT_USERS, WorkloadConfig, mail_workload
+from ..sim import FaultError
+from ..smock import RetryPolicy
+from .invariants import check_all
+from .plangen import generate_fault_plan
+
+__all__ = [
+    "ChaosCaseConfig",
+    "ChaosCaseResult",
+    "run_chaos_case",
+    "run_chaos_sweep",
+    "check_determinism",
+]
+
+
+@dataclass(frozen=True)
+class ChaosCaseConfig:
+    """Knobs of one chaos case (everything else derives from ``seed``)."""
+
+    n_sends: int = 30
+    n_receives: int = 5
+    cluster_size: int = 10
+    n_faults: int = 3
+    horizon_ms: float = 60_000.0
+    #: quiet time after the horizon for detection/replanning to finish
+    grace_ms: float = 120_000.0
+    flush_policy: str = "count:200"
+    clients_per_site: int = 2
+    versioned_coherence: bool = True
+    kinds: Optional[Sequence[str]] = None
+    retry_timeout_ms: float = 3000.0
+    max_retries: int = 15
+    heartbeat_interval_ms: float = 250.0
+    miss_threshold: int = 3
+
+
+@dataclass
+class ChaosCaseResult:
+    """Outcome of one seeded chaos run."""
+
+    seed: int
+    plan: List[str]
+    violations: List[str]
+    signature: str
+    workload_errors: List[str]
+    acked_sends: int
+    attempted_sends: int
+    finished: bool
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.finished and not self.violations
+
+
+def _signature(runtime: Any, results: List[Any], violations: List[str]) -> str:
+    """Hash every externally observable outcome of the run.
+
+    Message ids are process-global (a fresh run in the same process
+    draws different ids), so mailbox contents enter the hash by
+    *identity-free* shape: per-user sorted (sender, sensitivity,
+    body-length) triples.
+    """
+    primary = runtime.instance_of("MailServer")
+    inboxes = {
+        user: sorted(
+            (m.sender, m.sensitivity, len(m.body))
+            for folder in primary.store.mailbox(user).folders.values()
+            for m in folder
+        )
+        for user in primary.store.users()
+    }
+    st = runtime.coherence.stats
+    transport = runtime.transport
+    payload = {
+        "now": runtime.sim.now,
+        "events": runtime.sim._seq,
+        "latencies": [
+            (r.user, list(r.send_latency.samples), list(r.receive_latency.samples))
+            for r in results
+        ],
+        "errors": [list(r.errors) for r in results],
+        "inboxes": inboxes,
+        "coherence": [
+            st.local_updates, st.syncs, st.messages_propagated,
+            st.invalidations, st.stale_reads, st.lost_updates,
+            st.duplicates_rejected, st.degraded_reads, st.degraded_writes,
+            st.recovered_updates, st.reconcile_conflicts,
+        ],
+        "transport": [
+            transport.messages_sent, transport.bytes_sent,
+            transport.messages_dropped, transport.messages_duplicated,
+            transport.messages_corrupted, transport.messages_reordered,
+        ],
+        "violations": violations,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _final_sweep(runtime: Any) -> None:
+    """Force convergence once the schedule is over: flush every dirty
+    live replica upstream, then reconcile any lost buffers.
+
+    Replicas can chain (a view syncing into another view), so one flush
+    can re-dirty an upstream replica already swept this round — iterate
+    until a full pass leaves nothing dirty (chains are acyclic, so this
+    terminates in chain-depth passes; the cap is a hang guard for a
+    replica whose flush keeps failing)."""
+    directory = runtime.coherence
+    for _ in range(8):
+        dirty = False
+        for instance in list(runtime.instances.values()):
+            if getattr(instance, "replica_id", None) is None:
+                continue
+            if getattr(instance, "failed", False):
+                continue
+            entry = directory._replicas.get(instance.replica_id)
+            if entry is None or not entry.dirty:
+                continue
+            dirty = True
+            try:
+                runtime.run(
+                    instance._sync(), name=f"chaos-sweep:{instance.label}"
+                )
+            except (NetworkError, FaultError):
+                pass
+        if not dirty:
+            break
+    if directory.versioned and directory.has_lost_buffers:
+        directory.reconcile(runtime.sim.now)
+
+
+def run_chaos_case(
+    seed: int, config: Optional[ChaosCaseConfig] = None
+) -> ChaosCaseResult:
+    """Run one seeded chaos experiment end to end."""
+    config = config or ChaosCaseConfig()
+    obs = Observability(tracing=False, metrics=True)
+    with use_obs(obs):
+        testbed = build_mail_testbed(
+            clients_per_site=config.clients_per_site,
+            flush_policy=config.flush_policy,
+            versioned_coherence=config.versioned_coherence,
+        )
+        runtime = testbed.runtime
+        replanner = runtime.enable_self_healing(
+            heartbeat_interval_ms=config.heartbeat_interval_ms,
+            miss_threshold=config.miss_threshold,
+        )
+
+        proxies = []
+        for i, site in enumerate(SITES):
+            node = testbed.client_nodes(site)[0]
+            user = DEFAULT_USERS[i % len(DEFAULT_USERS)]
+            proxy = runtime.run(
+                runtime.client_connect(node, {"User": user}), f"connect:{user}"
+            )
+            proxy.retry_policy = RetryPolicy(
+                timeout_ms=config.retry_timeout_ms,
+                max_retries=config.max_retries,
+                seed=seed,
+            )
+            replanner.track_access(proxy, runtime.generic_server.accesses[-1])
+            proxies.append((site, user, proxy))
+
+        t0 = runtime.sim.now
+        plan = generate_fault_plan(
+            seed,
+            testbed.topology,
+            t0=t0,
+            horizon_ms=config.horizon_ms,
+            n_faults=config.n_faults,
+            kinds=config.kinds,
+        )
+        FaultInjector(runtime, plan).schedule()
+
+        users = [user for _s, user, _p in proxies]
+        procs = []
+        for site, user, proxy in proxies:
+            cfg = WorkloadConfig(
+                user=user,
+                peers=[u for u in users if u != user],
+                n_sends=config.n_sends,
+                n_receives=config.n_receives,
+                cluster_size=config.cluster_size,
+                max_sensitivity=SITE_TRUST[site],
+                seed=seed,
+            )
+            procs.append(runtime.sim.process(
+                mail_workload(proxy, cfg), name=f"chaos-wl:{user}"
+            ))
+
+        # The detector/monitor loops never drain the event list: run in
+        # slices.  Always advance past the whole fault horizon plus a
+        # settle period (every heal/restart fires, detection and the
+        # recovery replans run), then keep going up to the grace
+        # deadline if a workload is still retrying its way out.
+        quiesce_at = t0 + config.horizon_ms + 30_000.0
+        deadline = t0 + config.horizon_ms + config.grace_ms
+        while runtime.sim.now < deadline:
+            if runtime.sim.now >= quiesce_at and all(
+                p.triggered for p in procs
+            ):
+                break
+            runtime.sim.run(until=min(runtime.sim.now + 5_000.0, deadline))
+        runtime.failure_detector.stop()
+        runtime.monitor.stop()
+        _final_sweep(runtime)
+
+        finished = all(p.triggered and not p.failed for p in procs)
+        results = [p.value for p in procs if p.triggered and not p.failed]
+        errors = [e for r in results for e in r.errors]
+        attempted = config.n_sends * len(procs)
+        acked = attempted - sum(
+            1 for e in errors if e.startswith("send[")
+        ) - config.n_sends * (len(procs) - len(results))
+
+        violations = [] if not finished else check_all(
+            runtime, replanner, acked, attempted
+        )
+        if not finished:
+            for p in procs:
+                if not p.triggered:
+                    violations.append(f"workload {p.name} never finished")
+                elif p.failed:
+                    violations.append(f"workload {p.name} crashed: {p.value!r}")
+
+        st = runtime.coherence.stats
+        return ChaosCaseResult(
+            seed=seed,
+            plan=plan.describe(),
+            violations=violations,
+            signature=_signature(runtime, results, violations),
+            workload_errors=errors,
+            acked_sends=acked,
+            attempted_sends=attempted,
+            finished=finished,
+            stats={
+                "syncs": st.syncs,
+                "lost_updates": st.lost_updates,
+                "recovered_updates": st.recovered_updates,
+                "duplicates_rejected": st.duplicates_rejected,
+                "degraded_reads": st.degraded_reads,
+                "degraded_writes": st.degraded_writes,
+                "reconcile_conflicts": st.reconcile_conflicts,
+                "retries": sum(p.retries for _s, _u, p in proxies),
+            },
+        )
+
+
+def run_chaos_sweep(
+    seeds: Sequence[int], config: Optional[ChaosCaseConfig] = None
+) -> List[ChaosCaseResult]:
+    """Run one chaos case per seed (the CLI ``chaos-sweep`` backend)."""
+    return [run_chaos_case(seed, config) for seed in seeds]
+
+
+def check_determinism(
+    seed: int, config: Optional[ChaosCaseConfig] = None
+) -> bool:
+    """Same seed ⇒ byte-identical run signature (two fresh runs)."""
+    first = run_chaos_case(seed, config)
+    second = run_chaos_case(seed, config)
+    return first.signature == second.signature

@@ -1,0 +1,138 @@
+"""Post-quiescence invariant checks for chaos runs.
+
+Each check returns a list of human-readable violation strings (empty =
+invariant holds).  They are deliberately *end-state* checks: the harness
+runs the workload under a fault schedule, waits for the system to
+quiesce (all faults healed, self-healing rounds drained, one final
+anti-entropy sweep), and only then asks:
+
+- **durability** — no acknowledged send was lost: every acked send is
+  stored at the primary, with at-least-once slack only for sends whose
+  ack never reached the client (client-side error, server-side apply).
+- **convergence** — every live replica's store is a subset of the
+  primary's, no replica still holds dirty (unflushed) updates, and no
+  lost buffer remains unreconciled.
+- **rebinding** — every tracked client binding points at a fully
+  installed chain of live instances on up nodes.
+
+Determinism (same seed ⇒ identical run signature) is checked at the
+harness level by running the case twice — see
+:func:`repro.chaos.harness.check_determinism`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set
+
+__all__ = [
+    "check_durability",
+    "check_convergence",
+    "check_rebinding",
+    "check_all",
+]
+
+
+def _store_messages(store: Any) -> Dict[str, Set[int]]:
+    """user -> msg_ids held anywhere in that user's folders."""
+    held: Dict[str, Set[int]] = {}
+    for user in store.users():
+        box = store.mailbox(user)
+        held[user] = {
+            msg.msg_id for folder in box.folders.values() for msg in folder
+        }
+    return held
+
+
+def check_durability(
+    runtime: Any, acked_sends: int, attempted_sends: int
+) -> List[str]:
+    """No acked send lost; no send applied more than once."""
+    violations: List[str] = []
+    primary = runtime.instance_of("MailServer")
+    stats = runtime.coherence.stats
+    stored = primary.store.messages_stored
+    if stored + stats.lost_updates < acked_sends:
+        violations.append(
+            f"durability: {acked_sends} sends acked but only {stored} stored "
+            f"at the primary (+{stats.lost_updates} accounted lost)"
+        )
+    if stored > attempted_sends:
+        violations.append(
+            f"durability: {stored} messages stored at the primary but only "
+            f"{attempted_sends} sends were ever attempted (double-apply)"
+        )
+    if stats.lost_updates:
+        violations.append(
+            f"durability: {stats.lost_updates} updates still lost after the "
+            f"final anti-entropy sweep (all faults were healed)"
+        )
+    return violations
+
+
+def check_convergence(runtime: Any) -> List[str]:
+    """Replica stores ⊆ primary store; nothing dirty or lost remains."""
+    violations: List[str] = []
+    directory = runtime.coherence
+    primary = runtime.instance_of("MailServer")
+    primary_held = _store_messages(primary.store)
+    for instance in runtime.instances.values():
+        replica_id = getattr(instance, "replica_id", None)
+        if replica_id is None or getattr(instance, "failed", False):
+            continue
+        store = getattr(instance, "store", None)
+        if store is None:
+            continue
+        for user, held in _store_messages(store).items():
+            missing = held - primary_held.get(user, set())
+            if missing:
+                violations.append(
+                    f"convergence: {instance.label} holds {sorted(missing)} "
+                    f"for {user} that never reached the primary"
+                )
+        entry = directory._replicas.get(replica_id)
+        if entry is not None and entry.pending_units:
+            violations.append(
+                f"convergence: {instance.label} still dirty "
+                f"({entry.pending_units} pending units) after quiescence"
+            )
+    if directory.has_lost_buffers:
+        violations.append(
+            "convergence: lost buffers remain unreconciled after quiescence"
+        )
+    return violations
+
+
+def check_rebinding(runtime: Any, replanner: Any) -> List[str]:
+    """Every tracked binding resolves to a live, installed chain."""
+    violations: List[str] = []
+    for binding in replanner.bindings:
+        client = binding.request.client_node
+        for placement in binding.plan.placements:
+            instance = runtime.instances.get(placement.key)
+            if instance is None:
+                violations.append(
+                    f"rebinding: {client} bound to {placement.unit}@"
+                    f"{placement.node} which is not installed"
+                )
+                continue
+            if instance.failed:
+                violations.append(
+                    f"rebinding: {client} bound to failed instance "
+                    f"{instance.label}"
+                )
+            elif not instance.node.up:
+                violations.append(
+                    f"rebinding: {client} bound to {instance.label} on a "
+                    f"down host"
+                )
+    return violations
+
+
+def check_all(
+    runtime: Any, replanner: Any, acked_sends: int, attempted_sends: int
+) -> List[str]:
+    return (
+        check_durability(runtime, acked_sends, attempted_sends)
+        + check_convergence(runtime)
+        + check_rebinding(runtime, replanner)
+    )

@@ -1,0 +1,133 @@
+"""Seeded random fault-plan generation.
+
+:func:`generate_fault_plan` turns a seed into a reproducible
+:class:`~repro.faults.FaultPlan` over the Figure 5 topology: gateway
+crashes paired with restarts, link partitions and site splits paired
+with heals, and message-fault windows (drop / delay / duplicate /
+reorder / corrupt) on the inter-site links.  Every destructive action is
+healed before the horizon, and actions are laid out in disjoint time
+slots so no window overlaps another (``FaultPlan.validate`` holds by
+construction) and every fault gets a quiet recovery tail.
+
+The primary's host (``newyork-ms``) and the client nodes are never
+crashed: the harness invariants assume a durable primary and live
+workload drivers — chaos targets the *infrastructure between them*.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..experiments.topology_fig5 import Fig5Topology, SITES
+from ..faults import FaultAction, FaultKind, FaultPlan
+
+__all__ = ["generate_fault_plan", "FAULT_MENU"]
+
+#: the kinds a generated plan draws from, with generation weights —
+#: infrastructure faults (crash/partition/split) are the interesting
+#: recovery cases, message faults exercise dedup/ordering.
+FAULT_MENU: Tuple[Tuple[str, int], ...] = (
+    (FaultKind.CRASH, 3),
+    (FaultKind.PARTITION, 2),
+    (FaultKind.SPLIT, 1),
+    (FaultKind.DROP, 1),
+    (FaultKind.DELAY, 1),
+    (FaultKind.DUPLICATE, 2),
+    (FaultKind.REORDER, 1),
+    (FaultKind.CORRUPT, 1),
+)
+
+#: magnitude ranges: probability for drop/duplicate/corrupt, ms for
+#: delay/reorder.  Drop and corrupt stay low — every lost request costs
+#: a 3 s retry timeout and windows must stay shorter than the client's
+#: total retry budget.
+_MAGNITUDES = {
+    FaultKind.DROP: (0.05, 0.3),
+    FaultKind.DELAY: (10.0, 80.0),
+    FaultKind.DUPLICATE: (0.1, 0.5),
+    FaultKind.REORDER: (10.0, 60.0),
+    FaultKind.CORRUPT: (0.05, 0.25),
+}
+
+
+def _site_groups(topology: Fig5Topology, cut_site: str) -> Tuple[Tuple[str, ...], ...]:
+    """Split the topology into (cut site) vs (everything else)."""
+    inside: List[str] = [topology.gateways[cut_site]] + list(
+        topology.clients[cut_site]
+    )
+    outside: List[str] = []
+    for site in SITES:
+        if site == cut_site:
+            continue
+        outside.append(topology.gateways[site])
+        outside.extend(topology.clients[site])
+    if cut_site == "newyork":
+        inside.append(topology.server_node)
+    else:
+        outside.append(topology.server_node)
+    return (tuple(inside), tuple(outside))
+
+
+def generate_fault_plan(
+    seed: int,
+    topology: Fig5Topology,
+    t0: float = 0.0,
+    horizon_ms: float = 60_000.0,
+    n_faults: int = 4,
+    kinds: Optional[Sequence[str]] = None,
+) -> FaultPlan:
+    """Generate a reproducible fault schedule in ``[t0, t0 + horizon)``.
+
+    The horizon is carved into ``n_faults`` equal slots; fault *i* lives
+    entirely inside slot *i* (injection plus heal/restart), so plans are
+    overlap-free and each fault is followed by fault-free time in which
+    detection, replanning, and anti-entropy can run.  ``kinds`` narrows
+    the menu (e.g. ``["crash"]`` for a crash-only sweep).
+    """
+    if n_faults < 1:
+        raise ValueError("n_faults must be >= 1")
+    rng = random.Random(("chaos-plan", seed).__repr__())
+    menu = [
+        (kind, weight)
+        for kind, weight in FAULT_MENU
+        if kinds is None or kind in kinds
+    ]
+    if not menu:
+        raise ValueError(f"no fault kinds left from {kinds!r}")
+    population = [k for k, w in menu for _ in range(w)]
+
+    gateways = [topology.gateways[site] for site in SITES]
+    inter_links = [
+        tuple(sorted((topology.gateways[a], topology.gateways[b])))
+        for i, a in enumerate(SITES)
+        for b in SITES[i + 1:]
+    ]
+
+    plan = FaultPlan(seed=seed)
+    slot = horizon_ms / n_faults
+    for i in range(n_faults):
+        kind = rng.choice(population)
+        start = t0 + i * slot + rng.uniform(0.05, 0.25) * slot
+        duration = rng.uniform(0.3, 0.6) * slot
+        end = start + duration
+        if kind == FaultKind.CRASH:
+            node = rng.choice(gateways)
+            plan.add(FaultAction(kind=FaultKind.CRASH, at_ms=start, node=node))
+            plan.add(FaultAction(kind=FaultKind.RESTART, at_ms=end, node=node))
+        elif kind == FaultKind.PARTITION:
+            link = rng.choice(inter_links)
+            plan.add(FaultAction(kind=FaultKind.PARTITION, at_ms=start, link=link))
+            plan.add(FaultAction(kind=FaultKind.HEAL, at_ms=end, link=link))
+        elif kind == FaultKind.SPLIT:
+            groups = _site_groups(topology, rng.choice(SITES))
+            plan.add(FaultAction(
+                kind=FaultKind.SPLIT, at_ms=start, until_ms=end, groups=groups,
+            ))
+        else:
+            lo, hi = _MAGNITUDES[kind]
+            plan.add(FaultAction(
+                kind=kind, at_ms=start, until_ms=end,
+                link=rng.choice(inter_links), magnitude=rng.uniform(lo, hi),
+            ))
+    return plan.validate()

@@ -10,6 +10,12 @@ from .policies import (
     WriteThroughPolicy,
     policy_from_name,
 )
+from .reconcile import (
+    LastWriterWins,
+    ReconcilePolicy,
+    ReconcileReport,
+    VersionVector,
+)
 
 __all__ = [
     "CoherenceDirectory",
@@ -25,4 +31,8 @@ __all__ = [
     "TimePolicy",
     "WriteThroughPolicy",
     "policy_from_name",
+    "VersionVector",
+    "ReconcilePolicy",
+    "LastWriterWins",
+    "ReconcileReport",
 ]

@@ -33,9 +33,23 @@ class Update:
     #: how many underlying user messages this update aggregates (a
     #: workload client "simulates the behavior of a cluster of users")
     multiplicity: int = 1
+    #: version stamp, assigned by the directory when the update is first
+    #: buffered (``CoherenceDirectory(versioned=True)``): ``origin`` is
+    #: the buffering replica's id, ``seq`` its per-replica monotonic
+    #: sequence number, ``ts_ms`` the simulated buffering instant (the
+    #: last-writer-wins clock).  ``origin is None`` means unversioned —
+    #: the pre-partition-tolerance wire format.
+    origin: Optional[int] = None
+    seq: int = 0
+    ts_ms: float = 0.0
 
     def attr(self, key: str, default: Any = None) -> Any:
         return self.attributes.get(key, default)
+
+    @property
+    def version(self) -> Optional[Tuple[int, int]]:
+        """The ``(origin, seq)`` identity, or ``None`` if unversioned."""
+        return None if self.origin is None else (self.origin, self.seq)
 
 
 Predicate = Callable[[Update, ViewConfig], bool]

@@ -18,12 +18,13 @@ configurations conflict with the propagated updates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Protocol, Tuple
 
 from ..obs import Observability, resolve_obs
 from .conflicts import ConflictMap, Update, ViewConfig
 from .policies import FlushPolicy, NeverPolicy
+from .reconcile import LastWriterWins, ReconcilePolicy, ReconcileReport, VersionVector
 
 __all__ = ["CoherenceDirectory", "ReplicaEntry", "CoherenceStats", "ReplicaHost"]
 
@@ -55,6 +56,19 @@ class CoherenceStats:
     #: durability gap, surfaced instead of silently swallowed
     lost_updates: int = 0
     lost_units: int = 0
+    #: re-delivered updates rejected by the version frontier (duplicated,
+    #: replayed, or reordered flush batches that would double-apply)
+    duplicates_rejected: int = 0
+    #: reads a partitioned replica served from its (possibly stale)
+    #: local copy because the upstream was unreachable
+    degraded_reads: int = 0
+    #: writes a partitioned replica buffered locally instead of writing
+    #: through to the unreachable primary (folder structure)
+    degraded_writes: int = 0
+    #: previously-lost updates replayed at the primary by anti-entropy
+    recovered_updates: int = 0
+    #: anti-entropy replays that went through conflict resolution
+    reconcile_conflicts: int = 0
 
 
 @dataclass
@@ -70,6 +84,8 @@ class ReplicaEntry:
     pending_units: int = 0
     last_flush_ms: float = 0.0
     stale_keys: set = field(default_factory=set)
+    #: per-replica monotonic sequence counter for versioned updates
+    next_seq: int = 0
 
     @property
     def dirty(self) -> bool:
@@ -84,6 +100,8 @@ class CoherenceDirectory:
         conflict_map: Optional[ConflictMap] = None,
         obs: Optional[Observability] = None,
         batch_propagation: bool = True,
+        versioned: bool = True,
+        reconcile_policy: Optional[ReconcilePolicy] = None,
     ) -> None:
         self.conflict_map = conflict_map or ConflictMap()
         self._primaries: Dict[str, Any] = {}
@@ -97,6 +115,28 @@ class CoherenceDirectory:
         #: depends only on (update, config), so replicas sharing a config
         #: receive the identical conflicting sub-batch either way).
         self.batch_propagation = batch_propagation
+        #: knob: partition tolerance.  When on, buffered updates carry
+        #: ``(origin, seq, ts_ms)`` version stamps, applying stores keep
+        #: a :class:`VersionVector` frontier (duplicated/reordered/
+        #: replayed flush batches are rejected instead of double-applied),
+        #: crashed replicas' dirty buffers are stashed for anti-entropy
+        #: replay, and partitioned replicas serve degraded reads/writes.
+        #: When off the protocol is byte-identical to the pre-versioning
+        #: revision: no stamps, no frontiers, ``report_lost`` discards.
+        self.versioned = versioned
+        #: conflict resolution for anti-entropy replays (LWW by sim time)
+        self.reconcile_policy = reconcile_policy or LastWriterWins()
+        #: applied-version frontiers, one per applying store: the primary
+        #: of each family keys as ``("primary", family)``, intermediate
+        #: replicas as ``("replica", replica_id)``.
+        self._frontiers: Dict[Tuple[str, Any], VersionVector] = {}
+        #: dirty buffers of crashed replicas, held for anti-entropy
+        #: replay (modeling recovery from the replica's stable storage)
+        self._lost_buffers: Dict[int, Tuple[str, List[Update]]] = {}
+        #: family tombstones for unregistered replicas, so a flush that
+        #: was in flight during the purge can still requeue into the
+        #: lost ledger under the right family
+        self._retired_families: Dict[int, str] = {}
         # Metric handles resolved once: on_local_update runs per client
         # send and must not pay registry lookups (engine.Simulator pattern).
         metrics = self.obs.metrics
@@ -139,9 +179,22 @@ class CoherenceDirectory:
         return entry
 
     def unregister_replica(self, replica_id: int) -> None:
-        entry = self._replicas.pop(replica_id, None)
-        if entry is not None:
-            self._by_family[entry.family].remove(replica_id)
+        entry = self._replicas.get(replica_id)
+        if entry is None:
+            return
+        if entry.pending:
+            # A retiring replica whose last flush could not reach the
+            # primary (e.g. uninstalled mid-partition): its buffer holds
+            # client-acked updates and must enter the lost ledger — and,
+            # under versioned coherence, the anti-entropy stash — rather
+            # than vanish with the registration.
+            self.report_lost(replica_id)
+        del self._replicas[replica_id]
+        self._by_family[entry.family].remove(replica_id)
+        self._frontiers.pop(("replica", replica_id), None)
+        # Tombstone so a flush that was in flight when the replica was
+        # purged can still requeue its batch into the lost ledger.
+        self._retired_families[replica_id] = entry.family
 
     def replicas_of(self, family: str) -> List[ReplicaEntry]:
         return [self._replicas[i] for i in self._by_family.get(family, ())]
@@ -153,6 +206,14 @@ class CoherenceDirectory:
     def on_local_update(self, replica_id: int, update: Update, now_ms: float) -> bool:
         """Buffer a local update; True if the replica must reconcile now."""
         entry = self._replicas[replica_id]
+        if self.versioned and update.origin is None:
+            # Stamp at first buffering only: updates arriving through a
+            # downstream sync batch keep their original identity so the
+            # frontier dedups them end to end across replica chains.
+            entry.next_seq += 1
+            update = replace(
+                update, origin=replica_id, seq=entry.next_seq, ts_ms=now_ms
+            )
         entry.pending.append(update)
         entry.pending_units += update.multiplicity
         self.stats.local_updates += 1
@@ -193,13 +254,16 @@ class CoherenceDirectory:
             m.inc("coherence.bytes_propagated", size, policy=policy)
 
     def report_lost(self, replica_id: int) -> Tuple[List[Update], int]:
-        """Discard a dead replica's dirty buffer, accounting it as lost.
+        """Take a dead replica's dirty buffer out of the flush pipeline.
 
         Called during failover reconciliation when the replica's host
         crashed before its flush policy fired: those updates were acked
-        to clients but never propagated, and fail-stop semantics mean
-        they are unrecoverable.  Returns (batch, units) so callers can
-        report exactly what was lost.
+        to clients but never propagated.  Under fail-stop semantics
+        (``versioned=False``) they are simply discarded — the write-back
+        protocol's durability gap.  Under versioned coherence the batch
+        is additionally stashed (modeling the replica's stable storage)
+        for anti-entropy replay by :meth:`reconcile`.  Returns
+        (batch, units) so callers can report exactly what was lost.
         """
         entry = self._replicas.get(replica_id)
         if entry is None or not entry.pending:
@@ -210,11 +274,139 @@ class CoherenceDirectory:
         self.obs.metrics.inc(
             "coherence.lost_updates", len(batch), family=entry.family
         )
+        if self.versioned:
+            held = self._lost_buffers.get(replica_id)
+            if held is not None:
+                held[1].extend(batch)
+            else:
+                self._lost_buffers[replica_id] = (entry.family, list(batch))
         return batch, units
 
+    @property
+    def has_lost_buffers(self) -> bool:
+        """Are any recovered-but-unreconciled buffers awaiting replay?"""
+        return bool(self._lost_buffers)
+
+    # -- versioned apply / anti-entropy -------------------------------------
+    def frontier(self, applier: Tuple[str, Any]) -> VersionVector:
+        """The applied-version frontier for one applying store."""
+        vv = self._frontiers.get(applier)
+        if vv is None:
+            vv = self._frontiers[applier] = VersionVector()
+        return vv
+
+    def admit(self, applier: Tuple[str, Any], update: Update) -> bool:
+        """Should ``applier`` apply ``update``?
+
+        Returns False — and accounts a rejected duplicate — when the
+        update's ``(origin, seq)`` version was already applied at this
+        store (a duplicated, replayed, or requeued-after-apply batch).
+        Unversioned updates (or ``versioned=False``) always admit.
+        """
+        if not self.versioned or update.origin is None:
+            return True
+        if self.frontier(applier).admit(update.origin, update.seq):
+            return True
+        self.stats.duplicates_rejected += 1
+        m = self.obs.metrics
+        if m.enabled:
+            m.inc("coherence.duplicates_rejected", 1, applier=applier[0])
+        return False
+
+    def note_degraded_read(self, family: str) -> None:
+        """A partitioned replica served a read from its local copy."""
+        self.stats.degraded_reads += 1
+        self.obs.metrics.inc("coherence.degraded_reads", 1, family=family)
+
+    def note_degraded_write(self, family: str) -> None:
+        """A partitioned replica buffered a write it normally writes
+        through (e.g. mailbox folder structure)."""
+        self.stats.degraded_writes += 1
+        self.obs.metrics.inc("coherence.degraded_writes", 1, family=family)
+
+    def reconcile(self, now_ms: float) -> List[ReconcileReport]:
+        """Anti-entropy: replay recovered lost buffers at their primaries.
+
+        For each stashed buffer the primary's frontier delta — exactly
+        the updates it has not already applied — is replayed through the
+        primary's ``apply_reconciled`` hook, which resolves conflicting
+        writes via :attr:`reconcile_policy` (plus any service-level
+        merge), and the resulting sub-batch is fanned out as
+        invalidations through the conflict map.  No-op (returns ``[]``)
+        when unversioned or when nothing is stashed.
+        """
+        if not self.versioned or not self._lost_buffers:
+            return []
+        reports: List[ReconcileReport] = []
+        m = self.obs.metrics
+        for replica_id in sorted(self._lost_buffers):
+            family, batch = self._lost_buffers.pop(replica_id)
+            primary = self._primaries.get(family)
+            report = ReconcileReport(
+                family=family, replica_id=replica_id, recovered=len(batch)
+            )
+            if primary is None or not hasattr(primary, "apply_reconciled"):
+                # No merge hook: buffer stays lost (already accounted).
+                reports.append(report)
+                continue
+            frontier = self.frontier(("primary", family))
+            delta = frontier.delta(batch)
+            report.duplicates = len(batch) - len(delta)
+            self.stats.duplicates_rejected += report.duplicates
+            applied: List[Update] = []
+            for update in delta:
+                if update.origin is not None:
+                    frontier.admit(update.origin, update.seq)
+                outcome = primary.apply_reconciled(update, self.reconcile_policy)
+                report.note(outcome)
+                if outcome == "conflict":
+                    report.conflicts += 1
+                    self.stats.reconcile_conflicts += 1
+                applied.append(update)
+            report.replayed = len(applied)
+            self.stats.recovered_updates += len(applied)
+            recovered_units = sum(u.multiplicity for u in applied)
+            # The replays un-lose what report_lost accounted as lost.
+            self.stats.lost_updates -= len(applied)
+            self.stats.lost_units -= recovered_units
+            if applied:
+                report.invalidations = self.broadcast_invalidations(family, applied)
+            if m.enabled:
+                m.inc("coherence.reconcile.recovered", report.recovered, family=family)
+                m.inc("coherence.reconcile.replayed", report.replayed, family=family)
+                m.inc("coherence.reconcile.duplicates", report.duplicates, family=family)
+                m.inc("coherence.reconcile.conflicts", report.conflicts, family=family)
+                m.inc("coherence.reconcile.rounds", 1, family=family)
+            reports.append(report)
+        return reports
+
     def requeue(self, replica_id: int, batch: List[Update]) -> None:
-        """Put a batch back after a failed propagation attempt."""
-        entry = self._replicas[replica_id]
+        """Put a batch back after a failed propagation attempt.
+
+        If the replica was unregistered while the flush was in flight
+        (a concurrent retirement or failover purge), there is no pending
+        queue to return to: the batch enters the lost ledger directly —
+        and, under versioned coherence, the anti-entropy stash — exactly
+        as if :meth:`report_lost` had drained it.
+        """
+        if not batch:
+            return
+        entry = self._replicas.get(replica_id)
+        if entry is None:
+            family = self._retired_families.get(replica_id, "?")
+            units = sum(u.multiplicity for u in batch)
+            self.stats.lost_updates += len(batch)
+            self.stats.lost_units += units
+            self.obs.metrics.inc(
+                "coherence.lost_updates", len(batch), family=family
+            )
+            if self.versioned:
+                held = self._lost_buffers.get(replica_id)
+                if held is not None:
+                    held[1].extend(batch)
+                else:
+                    self._lost_buffers[replica_id] = (family, list(batch))
+            return
         entry.pending = batch + entry.pending
         entry.pending_units += sum(u.multiplicity for u in batch)
         self.obs.metrics.inc("coherence.requeues")

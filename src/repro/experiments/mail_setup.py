@@ -52,6 +52,7 @@ def build_mail_testbed(
     compile_routes: bool = True,
     proxy_fast_path: bool = True,
     batch_coherence: bool = True,
+    versioned_coherence: bool = True,
     obs=None,
 ) -> MailTestbed:
     """The standard case-study testbed.
@@ -70,7 +71,8 @@ def build_mail_testbed(
     caching; ``memoize=False`` disables validity-check memoization).
 
     ``fast_path`` / ``compile_routes`` / ``proxy_fast_path`` /
-    ``batch_coherence`` pass through to :class:`SmockRuntime` — the
+    ``batch_coherence`` / ``versioned_coherence`` pass through to
+    :class:`SmockRuntime` — the
     runtime hot-path knobs (see ARCHITECTURE.md), used by the
     determinism tests to pin fast-on vs fast-off equivalence.
     """
@@ -97,6 +99,7 @@ def build_mail_testbed(
         compile_routes=compile_routes,
         proxy_fast_path=proxy_fast_path,
         batch_coherence=batch_coherence,
+        versioned_coherence=versioned_coherence,
         obs=obs,
     )
     runtime.service_state["mail_users"] = tuple(users)

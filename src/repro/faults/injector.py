@@ -24,7 +24,7 @@ __all__ = ["FaultInjector"]
 
 @dataclass
 class _Window:
-    """One active drop/delay window on a link."""
+    """One active message-fault window on a link."""
 
     kind: str
     link: Tuple[str, str]
@@ -34,7 +34,7 @@ class _Window:
 
 
 class _InjectorHook(FaultHook):
-    """Transport hook applying the injector's active drop/delay windows."""
+    """Transport hook applying the injector's active fault windows."""
 
     def __init__(self, injector: "FaultInjector") -> None:
         self.injector = injector
@@ -43,6 +43,9 @@ class _InjectorHook(FaultHook):
         self, src: str, dst: str, hop_a: str, hop_b: str, size_bytes: int
     ) -> Optional[Any]:
         return self.injector._hop_verdict(hop_a, hop_b)
+
+    def on_message(self, src: str, dst: str, size_bytes: int) -> Tuple[str, ...]:
+        return self.injector._message_verdicts(src, dst)
 
 
 class FaultInjector:
@@ -60,10 +63,11 @@ class FaultInjector:
 
     # -- scheduling ---------------------------------------------------------
     def schedule(self, plan: Optional[FaultPlan] = None) -> None:
-        """Register every action of the plan with the simulator."""
+        """Validate the plan and register every action with the simulator."""
         if plan is not None:
             self.plan = plan
             self._rng = random.Random(plan.seed)
+        self.plan.validate()
         sim = self.runtime.sim
         for action in self.plan.sorted_actions():
             sim.call_at(action.at_ms, lambda a=action: self.apply(a))
@@ -79,7 +83,9 @@ class FaultInjector:
             self.partition_link(*action.link)  # type: ignore[misc]
         elif kind == FaultKind.HEAL:
             self.heal_link(*action.link)  # type: ignore[misc]
-        else:  # drop / delay window
+        elif kind == FaultKind.SPLIT:
+            self.split_network(action.groups, action.until_ms)  # type: ignore[arg-type]
+        else:  # drop / delay / duplicate / reorder / corrupt window
             self._open_window(action)
         self.applied.append(action)
         self.runtime.obs.metrics.inc(
@@ -120,6 +126,33 @@ class FaultInjector:
         self.runtime.network.set_link_up(a, b, True)
         self.runtime.transport.link(a, b).heal()
 
+    def split_network(
+        self,
+        groups: Tuple[Tuple[str, ...], ...],
+        until_ms: Optional[float] = None,
+    ) -> List[Tuple[str, str]]:
+        """Multi-link network split: sever every link whose endpoints
+        fall in different groups (nodes in no group keep all links).
+        When ``until_ms`` is given the severed links auto-heal then.
+        Returns the severed (a, b) pairs."""
+        side = {name: i for i, group in enumerate(groups) for name in group}
+        severed: List[Tuple[str, str]] = []
+        for link in self.runtime.network.links():
+            sa, sb = side.get(link.a), side.get(link.b)
+            if sa is None or sb is None or sa == sb or not link.up:
+                continue
+            self.partition_link(link.a, link.b)
+            severed.append((link.a, link.b))
+        if until_ms is not None and severed:
+            sim = self.runtime.sim
+
+            def _heal(pairs=tuple(severed)) -> None:
+                for a, b in pairs:
+                    self.heal_link(a, b)
+
+            sim.call_at(until_ms, _heal)
+        return severed
+
     # -- message faults -----------------------------------------------------
     def _open_window(self, action: FaultAction) -> None:
         window = _Window(
@@ -144,6 +177,40 @@ class FaultInjector:
             if w.kind == FaultKind.DROP:
                 if self._rng.random() < w.magnitude:
                     return "drop"
-            else:
+            elif w.kind == FaultKind.DELAY:
                 delay += w.magnitude
         return delay or None
+
+    def _message_verdicts(self, src: str, dst: str) -> Tuple[Any, ...]:
+        """Message-level verdicts for one request crossing ``src -> dst``.
+
+        Walks the current route and matches duplicate/reorder/corrupt
+        windows against each hop; each matching window draws from the
+        plan RNG.  Returns a tuple of ``"duplicate"`` / ``"corrupt"`` /
+        ``("reorder", hold_ms)`` verdicts (empty in the common case).
+        """
+        active = [
+            w for w in self._windows
+            if w.kind in (FaultKind.DUPLICATE, FaultKind.REORDER, FaultKind.CORRUPT)
+        ]
+        if not active:
+            return ()
+        now = self.runtime.sim.now
+        try:
+            hops = self.runtime.network.path(src, dst).hops
+        except Exception:
+            return ()  # disconnected: the transport reports that itself
+        keys = {tuple(sorted((h.a, h.b))) for h in hops}
+        verdicts: List[Any] = []
+        for w in active:
+            if w.link not in keys or not (w.at_ms <= now < w.until_ms):
+                continue
+            if w.kind == FaultKind.REORDER:
+                # Hold the message back a random slice of the window's
+                # magnitude so later traffic overtakes it.
+                hold = self._rng.random() * w.magnitude
+                if hold > 0.0:
+                    verdicts.append(("reorder", hold))
+            elif self._rng.random() < w.magnitude:
+                verdicts.append(w.kind)
+        return tuple(verdicts)

@@ -12,6 +12,16 @@ compact CLI syntax::
     drop:sandiego-gw/sandiego-client1:0.3@1000-5000   # lose 30% of
                                     # messages on the link in [1s, 5s)
     delay:sandiego-gw/sandiego-client1:25@1000-5000   # +25ms per message
+    duplicate:sandiego-gw/newyork-ms:0.2@1000-5000    # re-deliver 20% of
+                                    # messages crossing the link
+    reorder:sandiego-gw/newyork-ms:40@1000-5000       # delay a random
+                                    # subset up to 40ms so later messages
+                                    # overtake them
+    corrupt:sandiego-gw/newyork-ms:0.1@1000-5000      # garble 10% of
+                                    # messages (receiver rejects them)
+    split:newyork-gw,newyork-ms|sandiego-gw,seattle-gw@1000-6000
+                                    # network split: sever every link
+                                    # between the groups, heal at T2
 
 Injection itself is performed by :class:`repro.faults.FaultInjector`.
 """
@@ -38,18 +48,35 @@ class FaultKind:
     HEAL = "heal"
     DROP = "drop"
     DELAY = "delay"
+    #: message faults: re-deliver / out-of-order / garble within a window
+    DUPLICATE = "duplicate"
+    REORDER = "reorder"
+    CORRUPT = "corrupt"
+    #: multi-link network split: sever every link between node groups
+    SPLIT = "split"
 
-    ALL = (CRASH, RESTART, PARTITION, HEAL, DROP, DELAY)
+    ALL = (
+        CRASH, RESTART, PARTITION, HEAL, DROP, DELAY,
+        DUPLICATE, REORDER, CORRUPT, SPLIT,
+    )
+    #: window faults carry an ``until_ms`` and are active in [at, until)
+    WINDOWED = (DROP, DELAY, DUPLICATE, REORDER, CORRUPT, SPLIT)
+    #: window faults whose magnitude is a probability in [0, 1]
+    PROBABILISTIC = (DROP, DUPLICATE, CORRUPT)
+    #: window faults whose magnitude is a duration in ms
+    TIMED = (DELAY, REORDER)
 
 
 @dataclass(frozen=True)
 class FaultAction:
     """One scheduled fault.
 
-    ``node`` is set for crash/restart; ``link`` for the rest.  ``at_ms``
-    is the injection instant; window faults (drop/delay) also carry
-    ``until_ms``.  ``magnitude`` is the drop probability in [0, 1] or
-    the added delay in ms.
+    ``node`` is set for crash/restart; ``link`` for link and message
+    faults; ``groups`` for a multi-link split.  ``at_ms`` is the
+    injection instant; window faults (drop/delay/duplicate/reorder/
+    corrupt/split) also carry ``until_ms``.  ``magnitude`` is a
+    probability in [0, 1] (drop/duplicate/corrupt) or a duration in ms
+    (delay, and for reorder the maximum hold-back).
     """
 
     kind: str
@@ -58,30 +85,51 @@ class FaultAction:
     link: Optional[Tuple[str, str]] = None
     until_ms: Optional[float] = None
     magnitude: float = 0.0
+    #: node groups for ``split`` (every cross-group link is severed)
+    groups: Optional[Tuple[Tuple[str, ...], ...]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FaultKind.ALL:
             raise FaultPlanError(f"unknown fault kind {self.kind!r}")
+        if self.at_ms < 0 or (self.until_ms is not None and self.until_ms < 0):
+            raise FaultPlanError(f"{self.kind} fault has a negative timestamp")
         if self.kind in (FaultKind.CRASH, FaultKind.RESTART):
             if not self.node:
                 raise FaultPlanError(f"{self.kind} fault needs a node")
+        elif self.kind == FaultKind.SPLIT:
+            if not self.groups or len(self.groups) < 2:
+                raise FaultPlanError("split fault needs >= 2 node groups")
+            if any(not g for g in self.groups):
+                raise FaultPlanError("split fault has an empty node group")
+            seen: set = set()
+            for group in self.groups:
+                for name in group:
+                    if name in seen:
+                        raise FaultPlanError(
+                            f"split fault lists node {name!r} in two groups"
+                        )
+                    seen.add(name)
         elif self.link is None:
             raise FaultPlanError(f"{self.kind} fault needs a link")
-        if self.kind in (FaultKind.DROP, FaultKind.DELAY):
+        if self.kind in FaultKind.WINDOWED:
             if self.until_ms is None or self.until_ms <= self.at_ms:
                 raise FaultPlanError(
                     f"{self.kind} fault needs a window: T1-T2 with T2 > T1"
                 )
-        if self.kind == FaultKind.DROP and not 0.0 <= self.magnitude <= 1.0:
+        if self.kind in FaultKind.PROBABILISTIC and not 0.0 <= self.magnitude <= 1.0:
             raise FaultPlanError(
-                f"drop probability must be in [0, 1], got {self.magnitude}"
+                f"{self.kind} probability must be in [0, 1], got {self.magnitude}"
             )
-        if self.kind == FaultKind.DELAY and self.magnitude < 0:
-            raise FaultPlanError(f"negative delay: {self.magnitude}")
+        if self.kind in FaultKind.TIMED and self.magnitude < 0:
+            raise FaultPlanError(f"negative {self.kind} duration: {self.magnitude}")
 
     @property
     def subject(self) -> str:
-        return self.node if self.node else "<->".join(self.link)  # type: ignore[arg-type]
+        if self.node:
+            return self.node
+        if self.groups is not None:
+            return "|".join(",".join(g) for g in self.groups)
+        return "<->".join(self.link)  # type: ignore[arg-type]
 
     def describe(self) -> str:
         window = (
@@ -89,8 +137,14 @@ class FaultAction:
             if self.until_ms is not None
             else f"@{self.at_ms:.0f}"
         )
-        mag = f":{self.magnitude:g}" if self.kind in (FaultKind.DROP, FaultKind.DELAY) else ""
-        subject = self.node if self.node else "/".join(self.link)  # type: ignore[arg-type]
+        has_mag = self.kind in FaultKind.PROBABILISTIC or self.kind in FaultKind.TIMED
+        mag = f":{self.magnitude:g}" if has_mag else ""
+        if self.node:
+            subject = self.node
+        elif self.groups is not None:
+            subject = "|".join(",".join(g) for g in self.groups)
+        else:
+            subject = "/".join(self.link)  # type: ignore[arg-type]
         return f"{self.kind}:{subject}{mag}{window}"
 
 
@@ -113,6 +167,44 @@ class FaultPlan:
 
     def __len__(self) -> int:
         return len(self.actions)
+
+    def validate(self) -> "FaultPlan":
+        """Reject plans that would silently misbehave at injection time.
+
+        Raises :class:`FaultPlanError` for (1) actions with negative
+        timestamps, (2) duplicate actions — same (kind, subject, at_ms)
+        scheduled twice, and (3) overlapping windows of the same kind on
+        the same subject (two drop windows on one link at once compound
+        their probabilities in an order-dependent way; the plan should
+        say what it means).  Returns ``self`` so callers can chain.
+        """
+        seen: set = set()
+        open_windows: dict = {}
+        for action in self.sorted_actions():
+            if action.at_ms < 0 or (
+                action.until_ms is not None and action.until_ms < 0
+            ):
+                raise FaultPlanError(
+                    f"{action.describe()}: negative timestamp"
+                )
+            key = (action.kind, action.subject, action.at_ms)
+            if key in seen:
+                raise FaultPlanError(
+                    f"{action.describe()}: duplicate action "
+                    f"(same kind/subject scheduled twice at t={action.at_ms:g})"
+                )
+            seen.add(key)
+            if action.until_ms is None:
+                continue
+            wkey = (action.kind, action.subject)
+            prev = open_windows.get(wkey)
+            if prev is not None and action.at_ms < prev.until_ms:
+                raise FaultPlanError(
+                    f"{action.describe()}: overlaps {prev.describe()} "
+                    f"(same {action.kind} window on one subject)"
+                )
+            open_windows[wkey] = action
+        return self
 
     # -- parsing -----------------------------------------------------------
     @classmethod
@@ -149,7 +241,10 @@ class FaultPlan:
                 raise FaultPlanError(f"{spec!r}: expected {kind}:A/B@T")
             a, b = parts[1].split("/", 1)
             return FaultAction(kind=kind, at_ms=at_ms, link=(a, b))
-        if kind in (FaultKind.DROP, FaultKind.DELAY):
+        if kind in (
+            FaultKind.DROP, FaultKind.DELAY,
+            FaultKind.DUPLICATE, FaultKind.REORDER, FaultKind.CORRUPT,
+        ):
             if len(parts) != 3 or "/" not in parts[1]:
                 raise FaultPlanError(
                     f"{spec!r}: expected {kind}:A/B:MAGNITUDE@T1-T2"
@@ -162,6 +257,18 @@ class FaultPlan:
             return FaultAction(
                 kind=kind, at_ms=at_ms, link=(a, b),
                 until_ms=until_ms, magnitude=magnitude,
+            )
+        if kind == FaultKind.SPLIT:
+            if len(parts) != 2 or "|" not in parts[1]:
+                raise FaultPlanError(
+                    f"{spec!r}: expected split:A,B|C,D@T1-T2"
+                )
+            groups = tuple(
+                tuple(n for n in group.split(",") if n)
+                for group in parts[1].split("|")
+            )
+            return FaultAction(
+                kind=kind, at_ms=at_ms, groups=groups, until_ms=until_ms
             )
         raise FaultPlanError(
             f"{spec!r}: unknown fault kind {kind!r} (one of {FaultKind.ALL})"

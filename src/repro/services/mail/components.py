@@ -45,6 +45,10 @@ __all__ = [
 #: session key protecting Encryptor<->Decryptor traffic
 _SESSION_KEY = derive_key("smock-session", "mail")
 
+#: upper bound on one coherence sync RPC when message faults are active
+#: (a dropped sync message would otherwise hang the flush forever)
+SYNC_TIMEOUT_MS = 30_000.0
+
 _MSG_ENVELOPE_BYTES = 96
 
 
@@ -140,6 +144,14 @@ class _StoreBase(RuntimeComponent):
 class MailServerComponent(_StoreBase):
     """The primary mail server (Figure 2's ``MailServer``)."""
 
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        #: (user, msg_id) -> (ts_ms, version) of the last accepted move,
+        #: the incumbent side of last-writer-wins for folder moves that
+        #: raced a partition (stamped on direct applies too, so a
+        #: reconciled replay can lose to a newer direct move).
+        self._move_clock: Dict[Tuple[str, int], Tuple[float, Optional[Tuple[int, int]]]] = {}
+
     def op_store_message(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
         cached = self._replay(req.idempotency_key)
         if cached is not None:
@@ -161,27 +173,108 @@ class MailServerComponent(_StoreBase):
 
         Updates carrying an idempotency key already applied here (e.g.
         a client retried through a fresh failover chain while the old
-        replica's buffer was still in flight) are skipped.
+        replica's buffer was still in flight) are skipped, as are
+        updates whose ``(origin, seq)`` version the frontier has already
+        admitted (a duplicated or replayed batch).  Batches can mix
+        stored messages with folder updates a partitioned replica
+        buffered in degraded mode; ``messages`` aligns positionally with
+        the ``store_message`` updates only.
         """
         messages: List[StoredMessage] = req.payload["messages"]
         updates: List[Update] = req.payload["updates"]
-        for msg, update in zip(messages, updates):
+        directory = self.coherence
+        applier = ("primary", self.unit.name)
+        admitted: List[Update] = []
+        applied = 0
+        mi = 0
+        for update in updates:
+            msg: Optional[StoredMessage] = None
+            if update.op == "store_message":
+                msg = messages[mi]
+                mi += 1
+            if not directory.admit(applier, update):
+                continue
+            admitted.append(update)
+            if msg is not None:
+                key = update.attr("idempotency_key")
+                if key is not None and key in self._applied:
+                    self.duplicates_suppressed += 1
+                    continue
+                self.store.store(msg)
+                applied += 1
+                if key is not None:
+                    self._applied[key] = ServiceResponse(
+                        payload={"msg_id": msg.msg_id}, size_bytes=256
+                    )
+            else:
+                if self._apply_folder_update(update) in ("applied", "conflict"):
+                    applied += 1
+        directory.broadcast_invalidations(
+            family=self.unit.name,
+            batch=admitted,
+            origin_config=req.payload.get("origin_config"),
+        )
+        return ServiceResponse(payload={"applied": applied}, size_bytes=256)
+        yield  # pragma: no cover - generator marker
+
+    # -- partition-tolerance merge hooks ------------------------------------
+    def _apply_folder_update(self, update: Update) -> str:
+        """Merge one folder-structure update (union folders, LWW moves)."""
+        user = update.attr("user", "")
+        if update.op == "create_folder":
+            box = self.store.ensure_account(user)
+            folder = update.attr("folder", "")
+            if not folder or folder in box.folders:
+                return "duplicate"  # union merge: both sides created it
+            box.folders[folder] = []
+            return "applied"
+        if update.op == "move_mail":
+            msg_id = int(update.attr("msg_id", 0))
+            folder = update.attr("folder", "")
+            incumbent = self._move_clock.get((user, msg_id))
+            if incumbent is not None:
+                ts, version = incumbent
+                if not self.coherence.reconcile_policy.wins(update, ts, version):
+                    return "conflict"  # a newer move already won this cell
+                outcome = "conflict"
+            else:
+                outcome = "applied"
+            try:
+                box = self.store.mailbox(user)
+                if folder and folder not in box.folders:
+                    box.folders[folder] = []  # created during the partition
+                self.store.move_message(user, msg_id, folder)
+            except Exception:
+                return "unapplied"  # message never reached the primary
+            self._move_clock[(user, msg_id)] = (update.ts_ms, update.version)
+            return outcome
+        return "ignored"
+
+    def apply_reconciled(self, update: Update, policy: Any) -> str:
+        """Anti-entropy hook: replay one recovered update at the primary.
+
+        Called by :meth:`CoherenceDirectory.reconcile` for the frontier
+        delta of a crashed replica's recovered buffer.  Returns an
+        outcome label for the reconcile report.
+        """
+        if update.op == "store_message":
+            msg = update.attr("message")
+            if msg is None:
+                return "unapplied"  # metadata-only: payload died with the host
             key = update.attr("idempotency_key")
             if key is not None and key in self._applied:
                 self.duplicates_suppressed += 1
-                continue
+                return "duplicate"
+            inbox = self.store.ensure_account(msg.recipient).inbox
+            if any(m.msg_id == msg.msg_id for m in inbox):
+                return "duplicate"  # a client retry re-applied it directly
             self.store.store(msg)
             if key is not None:
                 self._applied[key] = ServiceResponse(
                     payload={"msg_id": msg.msg_id}, size_bytes=256
                 )
-        self.coherence.broadcast_invalidations(
-            family=self.unit.name,
-            batch=updates,
-            origin_config=req.payload.get("origin_config"),
-        )
-        return ServiceResponse(payload={"applied": len(messages)}, size_bytes=256)
-        yield  # pragma: no cover - generator marker
+            return "applied"
+        return self._apply_folder_update(update)
 
     def op_create_account(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
         self.provision_account(req.payload["user"], tuple(req.payload.get("contacts", ())))
@@ -213,6 +306,8 @@ class MailServerComponent(_StoreBase):
             )
         except Exception as exc:
             return ServiceResponse.failure(str(exc))
+        # Direct moves are incumbents for reconciliation-time LWW.
+        self._move_clock[(user, msg.msg_id)] = (self.sim.now, None)
         return ServiceResponse(payload={"msg_id": msg.msg_id}, size_bytes=128)
         yield  # pragma: no cover - generator marker
 
@@ -304,6 +399,36 @@ class ViewMailServerComponent(_StoreBase):
             if recipient is not None:
                 self.stale_users.add(recipient)
 
+    def _call_upstream(
+        self, req: ServiceRequest
+    ) -> Generator[Any, Any, ServiceResponse]:
+        """Upstream RPC for coherence traffic, bounded under faults.
+
+        With message faults active a sync RPC can be silently dropped,
+        which would hang the flush generator forever with its drained,
+        client-acked batch stranded.  Racing the call against a timeout
+        bounds that: the attempt is abandoned, the caller requeues, and
+        the version frontier dedups the re-send if the abandoned attempt
+        applied after all.  Without a fault hook (or unversioned) the
+        call is the plain blocking RPC — byte-identical to before.
+        """
+        if self.runtime.transport.fault_hook is None or not self.coherence.versioned:
+            resp = yield from self.call("ServerInterface", req)
+            return resp
+        sim = self.sim
+        rpc = sim.process(
+            self.call("ServerInterface", req),
+            name=f"sync-rpc:{self.instance_id}:{req.op}",
+        )
+        timeout = sim.timeout(SYNC_TIMEOUT_MS)
+        yield sim.any_of([rpc, timeout])
+        if rpc.triggered:
+            return rpc.value
+        return ServiceResponse.failure(
+            f"sync {req.op!r} timed out after {SYNC_TIMEOUT_MS:.0f}ms",
+            retryable=True,
+        )
+
     def _sync(self) -> Generator[Any, Any, None]:
         """Reconcile with upstream through the planned linkage.
 
@@ -321,7 +446,7 @@ class ViewMailServerComponent(_StoreBase):
             payload={"origin_config": self.config, "units": units},
             size_bytes=128,
         )
-        prep_resp = yield from self.call("ServerInterface", prepare)
+        prep_resp = yield from self._call_upstream(prepare)
         if not prep_resp.ok:
             directory.requeue(self.replica_id, batch)
             return
@@ -337,7 +462,7 @@ class ViewMailServerComponent(_StoreBase):
             },
             size_bytes=size,
         )
-        resp = yield from self.call("ServerInterface", req)
+        resp = yield from self._call_upstream(req)
         if resp.ok:
             directory.record_flush(self.replica_id, self.sim.now, batch)
             self.syncs_performed += 1
@@ -346,13 +471,17 @@ class ViewMailServerComponent(_StoreBase):
 
     @staticmethod
     def _strip_message(update: Update) -> Update:
-        """Metadata-only copy for invalidation bookkeeping upstream."""
+        """Metadata-only copy for invalidation bookkeeping upstream
+        (the version stamp rides along so upstream frontiers dedup)."""
         attrs = {k: v for k, v in update.attributes.items() if k != "message"}
         return Update(
             op=update.op,
             attributes=attrs,
             size_bytes=update.size_bytes,
             multiplicity=update.multiplicity,
+            origin=update.origin,
+            seq=update.seq,
+            ts_ms=update.ts_ms,
         )
 
     # -- operations -----------------------------------------------------------------
@@ -415,18 +544,94 @@ class ViewMailServerComponent(_StoreBase):
                 }:
                     self.store.ensure_account(user).inbox.append(msg)
             self.stale_users.discard(user)
+        elif resp.retryable and self.coherence.versioned:
+            # Degraded mode: the upstream is unreachable (partition), so
+            # serve the local — possibly stale — copy per our flush
+            # policy's consistency promise, with stale-read accounting.
+            # The user stays marked stale, so the next reachable fetch
+            # re-validates.
+            self.coherence.note_degraded_read(self.unit.represents)
+            return self._messages_response(self.store.fetch(user, since_id, max_s))
         return resp
 
     def op_create_folder(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
-        """Folder structure lives at the primary: write through."""
+        """Folder structure lives at the primary: write through.
+
+        When the primary is unreachable (partition) under versioned
+        coherence, the folder is created locally and the update buffered
+        for write-back; reconciliation merges folder structure by union.
+        """
         self.upstream_forwards += 1
         resp = yield from self.call("ServerInterface", req)
+        if resp.ok or not resp.retryable or not self.coherence.versioned:
+            return resp
+        user = req.payload.get("user") or req.user or ""
+        folder = req.payload.get("folder", "")
+        if not folder:
+            return resp
+        box = self.store.ensure_account(user)
+        if folder not in box.folders:
+            box.folders[folder] = []
+        resp = yield from self._buffer_degraded(
+            Update(
+                op="create_folder",
+                attributes={"user": user, "folder": folder, "recipient": user},
+                size_bytes=128,
+            ),
+            ServiceResponse(
+                payload={"folders": self.store.folder_names(user)}, size_bytes=256
+            ),
+        )
         return resp
 
     def op_move_mail(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
-        """Folder structure lives at the primary: write through."""
+        """Folder structure lives at the primary: write through.
+
+        Under a partition (versioned coherence) the move applies locally
+        when this view holds the message, and is buffered for write-back
+        — reconciliation resolves racing moves last-writer-wins.
+        """
         self.upstream_forwards += 1
         resp = yield from self.call("ServerInterface", req)
+        if resp.ok or not resp.retryable or not self.coherence.versioned:
+            return resp
+        user = req.payload.get("user") or req.user or ""
+        msg_id = int(req.payload.get("msg_id") or 0)
+        folder = req.payload.get("folder", "")
+        try:
+            box = self.store.mailbox(user)
+            if folder and folder not in box.folders:
+                box.folders[folder] = []
+            msg = self.store.move_message(user, msg_id, folder)
+        except Exception:
+            return resp  # message not held here: genuinely unservable
+        resp = yield from self._buffer_degraded(
+            Update(
+                op="move_mail",
+                attributes={
+                    "user": user, "msg_id": msg_id,
+                    "folder": folder, "recipient": user,
+                },
+                size_bytes=128,
+            ),
+            ServiceResponse(payload={"msg_id": msg.msg_id}, size_bytes=128),
+        )
+        return resp
+
+    def _buffer_degraded(
+        self, update: Update, resp: ServiceResponse
+    ) -> Generator[Any, Any, ServiceResponse]:
+        """Buffer a degraded-mode write for write-back and ack locally."""
+        assert self.replica_id is not None
+        self.coherence.note_degraded_write(self.unit.represents)
+        must_flush = self.coherence.on_local_update(
+            self.replica_id, update, self.sim.now
+        )
+        self._notify_daemon()
+        if must_flush:
+            # Likely still partitioned — the attempt requeues on failure
+            # and anti-entropy / later flushes carry it after the heal.
+            yield from self._sync()
         return resp
 
     def op_sync_batch(self, req: ServiceRequest) -> Generator[Any, Any, ServiceResponse]:
@@ -434,37 +639,57 @@ class ViewMailServerComponent(_StoreBase):
 
         Updates whose idempotency key was already applied at this store
         are dropped outright — our own buffered copy (recorded when the
-        key first applied) is already on its way upstream.
+        key first applied) is already on its way upstream — and so are
+        updates whose version this replica's frontier already admitted
+        (a duplicated or replayed batch).  ``messages`` aligns
+        positionally with the ``store_message`` updates only: degraded-
+        mode folder updates ride the same batch without a payload and
+        chain upstream unchanged.
         """
         messages: List[StoredMessage] = req.payload["messages"]
         updates: List[Update] = req.payload["updates"]
         assert self.replica_id is not None
+        directory = self.coherence
+        applier = ("replica", self.replica_id)
         must_flush = False
-        for msg, update in zip(messages, updates):
-            key = update.attr("idempotency_key")
-            if key is not None and key in self._applied:
-                self.duplicates_suppressed += 1
+        applied = 0
+        mi = 0
+        for update in updates:
+            msg: Optional[StoredMessage] = None
+            if update.op == "store_message":
+                msg = messages[mi]
+                mi += 1
+            if not directory.admit(applier, update):
                 continue
-            if self.store.accepts(msg.sensitivity):
-                self.store.store(msg)
-            if key is not None:
-                self._applied[key] = ServiceResponse(
-                    payload={"msg_id": msg.msg_id}, size_bytes=256
+            if msg is not None:
+                key = update.attr("idempotency_key")
+                if key is not None and key in self._applied:
+                    self.duplicates_suppressed += 1
+                    continue
+                if self.store.accepts(msg.sensitivity):
+                    self.store.store(msg)
+                if key is not None:
+                    self._applied[key] = ServiceResponse(
+                        payload={"msg_id": msg.msg_id}, size_bytes=256
+                    )
+                chained = Update(
+                    op=update.op,
+                    attributes={**dict(update.attributes), "message": msg},
+                    size_bytes=update.size_bytes,
+                    multiplicity=update.multiplicity,
+                    origin=update.origin,
+                    seq=update.seq,
+                    ts_ms=update.ts_ms,
                 )
-            chained = Update(
-                op=update.op,
-                attributes={**dict(update.attributes), "message": msg},
-                size_bytes=update.size_bytes,
-                multiplicity=update.multiplicity,
-            )
-            if self.coherence.on_local_update(
-                self.replica_id, chained, self.sim.now
-            ):
+            else:
+                chained = update  # folder update: chain upstream as-is
+            applied += 1
+            if directory.on_local_update(self.replica_id, chained, self.sim.now):
                 must_flush = True
         self._notify_daemon()
         if must_flush:
             yield from self._sync()
-        return ServiceResponse(payload={"applied": len(messages)}, size_bytes=256)
+        return ServiceResponse(payload={"applied": applied}, size_bytes=256)
 
 
 class EncryptorComponent(RuntimeComponent):

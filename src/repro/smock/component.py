@@ -71,14 +71,44 @@ class ServerStub:
         fault (crashed host, severed link mid-transfer) surfaces as a
         *retryable* failure response, not an exception — callers decide
         whether to retry, fail over, or report upstream.
+
+        When a :class:`FaultHook` is installed, its message-level
+        verdicts apply here at the RPC boundary (``deliver`` only moves
+        byte counts): ``("reorder", hold_ms)`` holds the request back so
+        later traffic overtakes it; ``"corrupt"`` garbles the request
+        past the link — it still burns the round trip but the receiver
+        rejects it (retryable failure, like a checksum mismatch);
+        ``"duplicate"`` delivers the request to the server *twice*,
+        exercising the receiver's dedup (idempotency keys, version
+        frontier) — the caller sees the first response.
         """
         self.calls += 1
         transport = self.runtime.transport
         try:
+            hook = transport.fault_hook
+            verdicts = (
+                hook.on_message(self.client_node, self.server.node_name, req.size_bytes)
+                if hook is not None
+                else ()
+            )
+            for verdict in verdicts:
+                if isinstance(verdict, tuple) and verdict[0] == "reorder":
+                    transport.messages_reordered += 1
+                    yield self.runtime.sim.timeout(float(verdict[1]))
             yield from transport.deliver(
                 self.client_node, self.server.node_name, req.size_bytes
             )
+            if "corrupt" in verdicts:
+                transport.messages_corrupted += 1
+                return ServiceResponse.failure(
+                    f"corrupt: {self.client_node} -> {self.server.node_name}: "
+                    f"request {req.op!r} failed integrity check",
+                    retryable=True,
+                )
             resp = yield from self.server.serve(req)
+            if "duplicate" in verdicts:
+                transport.messages_duplicated += 1
+                yield from self.server.serve(req)
             yield from transport.deliver(
                 self.server.node_name, self.client_node, resp.size_bytes
             )

@@ -280,11 +280,58 @@ class ReplanManager:
             runtime.deployer.uninstall(placement, bundle)
             event.retired.append(instance.label)
 
+        # Anti-entropy: replay recovered buffers, re-converge replicas.
+        yield from self._anti_entropy(trigger)
+
         # Rebuild the planner's deployment state to match reality.
         planner.state = state
         self.events.append(event)
         self._observe_round(event)
         return event
+
+    # -- anti-entropy ------------------------------------------------------------
+    def _anti_entropy(
+        self, trigger: Optional[ChangeEvent]
+    ) -> Generator[Any, Any, None]:
+        """Re-converge coherence state after the round's registry changes.
+
+        Two steps, both no-ops under unversioned (fail-stop) coherence:
+        (1) on a *recovery* trigger (a node or link coming back up),
+        flush every dirty live replica upstream so state diverged during
+        the partition propagates now instead of waiting out its flush
+        policy; (2) replay any lost buffers stashed by ``report_lost``
+        at their primaries (:meth:`CoherenceDirectory.reconcile`).
+        """
+        directory = self.bundle.coherence
+        if not directory.versioned:
+            return
+        recovery = (
+            trigger is not None
+            and trigger.kind in ("node", "link")
+            and trigger.attribute == "up"
+            and bool(trigger.new)
+        )
+        if recovery:
+            for instance in list(self.bundle.instances.values()):
+                if getattr(instance, "failed", False):
+                    continue
+                if getattr(instance, "replica_id", None) is None:
+                    continue
+                flush = getattr(instance, "_sync", None)
+                if flush is None:
+                    continue
+                entry = directory._replicas.get(instance.replica_id)
+                if entry is None or not entry.dirty:
+                    continue
+                try:
+                    yield from flush()
+                except (NetworkError, FaultError):
+                    continue  # still partitioned; a later round retries
+        if directory.has_lost_buffers:
+            reports = directory.reconcile(self.runtime.sim.now)
+            metrics = self.runtime.obs.metrics
+            if metrics.enabled and reports:
+                metrics.inc("coherence.reconcile.passes")
 
     # -- failover reconciliation -------------------------------------------------
     def _reconcile_failed_instances(self, event: ReplanEvent) -> None:

@@ -78,6 +78,7 @@ class SmockRuntime:
         compile_routes: bool = True,
         proxy_fast_path: bool = True,
         batch_coherence: bool = True,
+        versioned_coherence: bool = True,
     ) -> None:
         self.network = network
         self.obs = resolve_obs(obs)
@@ -91,6 +92,10 @@ class SmockRuntime:
         #: one — the knobs exist for benchmarking and bisection.
         self.proxy_fast_path = proxy_fast_path
         self.batch_coherence = batch_coherence
+        #: partition-tolerance master knob (see CoherenceDirectory): off
+        #: restores the fail-stop protocol byte for byte — no version
+        #: stamps, no frontier dedup, no degraded mode, no anti-entropy.
+        self.versioned_coherence = versioned_coherence
         self.sim = sim or Simulator(obs=self.obs, fast_path=fast_path)
         if self.obs.tracer.enabled:
             # An externally-supplied simulator may carry a different (or
@@ -160,6 +165,7 @@ class SmockRuntime:
             coherence=CoherenceDirectory(
                 conflict_map, obs=self.obs,
                 batch_propagation=self.batch_coherence,
+                versioned=self.versioned_coherence,
             ),
             code_base_node=code_base_node,
             view_policy=view_policy or (lambda view, instance: NeverPolicy()),

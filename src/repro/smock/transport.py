@@ -50,13 +50,21 @@ class FaultHook:
     Subclasses (see :class:`repro.faults.FaultInjector`) override
     :meth:`on_hop`, returning ``"drop"`` to lose the message on that
     hop, a positive float to add that many ms of delay, or ``None`` to
-    leave it alone.
+    leave it alone; and :meth:`on_message`, returning message-level
+    verdicts applied once per request at the RPC boundary
+    (:meth:`repro.smock.component.ServerStub.request`): ``"duplicate"``
+    re-delivers the request, ``"corrupt"`` garbles it so the receiver
+    rejects it, and ``("reorder", hold_ms)`` holds it back so later
+    traffic overtakes it.
     """
 
     def on_hop(
         self, src: str, dst: str, hop_a: str, hop_b: str, size_bytes: int
     ) -> Optional[Any]:
         return None
+
+    def on_message(self, src: str, dst: str, size_bytes: int) -> Tuple[Any, ...]:
+        return ()
 
 
 class CompiledRoute:
@@ -95,6 +103,9 @@ class RuntimeTransport:
         #: exact pre-fault-tolerance fast path.
         self.fault_hook: Optional[FaultHook] = None
         self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_corrupted = 0
+        self.messages_reordered = 0
         #: knob: False disables route compilation entirely (the per-hop
         #: resolution path below is then the only delivery loop).
         self.compile_routes = compile_routes

@@ -1,0 +1,95 @@
+"""Tests for seeded fault-plan generation."""
+
+import pytest
+
+from repro.chaos.plangen import FAULT_MENU, generate_fault_plan
+from repro.experiments.topology_fig5 import SITES, build_fig5_network
+from repro.faults import FaultKind
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return build_fig5_network()
+
+
+def test_same_seed_same_plan(topology):
+    a = generate_fault_plan(7, topology)
+    b = generate_fault_plan(7, topology)
+    assert a.describe() == b.describe()
+
+
+def test_different_seeds_diverge(topology):
+    plans = {tuple(generate_fault_plan(s, topology).describe()) for s in range(10)}
+    assert len(plans) > 1
+
+
+def test_generated_plans_validate_across_seeds(topology):
+    for seed in range(30):
+        plan = generate_fault_plan(seed, topology, n_faults=5)
+        plan.validate()  # overlap-free by construction
+
+
+def test_every_destructive_fault_heals_inside_horizon(topology):
+    horizon = 60_000.0
+    for seed in range(20):
+        plan = generate_fault_plan(seed, topology, horizon_ms=horizon, n_faults=4)
+        crashed, restarted, cut, healed = set(), set(), set(), set()
+        for a in plan.sorted_actions():
+            assert a.at_ms < horizon
+            if a.until_ms is not None:
+                assert a.until_ms <= horizon
+            if a.kind == FaultKind.CRASH:
+                crashed.add(a.node)
+            elif a.kind == FaultKind.RESTART:
+                restarted.add(a.node)
+            elif a.kind == FaultKind.PARTITION:
+                cut.add(a.link)
+            elif a.kind == FaultKind.HEAL:
+                healed.add(a.link)
+        assert crashed == restarted
+        assert cut == healed
+
+
+def test_primary_host_and_clients_never_crash(topology):
+    protected = {topology.server_node} | {
+        c for site in SITES for c in topology.clients[site]
+    }
+    for seed in range(30):
+        plan = generate_fault_plan(seed, topology, n_faults=6)
+        for a in plan.sorted_actions():
+            if a.kind in (FaultKind.CRASH, FaultKind.RESTART):
+                assert a.node not in protected
+
+
+def test_kinds_narrows_the_menu(topology):
+    for seed in range(10):
+        plan = generate_fault_plan(seed, topology, kinds=["crash"])
+        kinds = {a.kind for a in plan.actions}
+        assert kinds <= {FaultKind.CRASH, FaultKind.RESTART}
+
+
+def test_unknown_kinds_raise(topology):
+    with pytest.raises(ValueError):
+        generate_fault_plan(0, topology, kinds=["frobnicate"])
+    with pytest.raises(ValueError):
+        generate_fault_plan(0, topology, n_faults=0)
+
+
+def test_split_groups_cover_cut_site(topology):
+    plan = generate_fault_plan(3, topology, kinds=["split"], n_faults=2)
+    splits = [a for a in plan.actions if a.kind == FaultKind.SPLIT]
+    assert splits
+    all_nodes = {topology.server_node} | {
+        topology.gateways[s] for s in SITES
+    } | {c for s in SITES for c in topology.clients[s]}
+    for a in splits:
+        grouped = {n for g in a.groups for n in g}
+        assert grouped == all_nodes  # every node lands on one side
+
+
+def test_menu_covers_all_window_kinds():
+    kinds = {k for k, _w in FAULT_MENU}
+    assert {
+        FaultKind.DUPLICATE, FaultKind.REORDER, FaultKind.CORRUPT,
+        FaultKind.SPLIT, FaultKind.CRASH, FaultKind.PARTITION,
+    } <= kinds

@@ -76,8 +76,20 @@ def test_requeue_restores_batch_order(directory):
     directory.on_local_update(0, u3, 0.0)
     directory.requeue(0, batch)
     batch2, units = directory.drain(0)
-    assert batch2 == [u1, u2, u3]
+    # Buffered copies carry version stamps; the logical order/content match.
+    assert [u.attributes for u in batch2] == [{"i": 0}, {"i": 1}, {"i": 2}]
+    assert [u.seq for u in batch2] == [1, 2, 3]
     assert units == 3
+
+
+def test_requeue_unversioned_keeps_objects(directory):
+    unversioned = CoherenceDirectory(versioned=False)
+    unversioned.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    u1, u2 = Update("store", {"i": 0}), Update("store", {"i": 1})
+    unversioned.on_local_update(0, u1, 0.0)
+    unversioned.on_local_update(0, u2, 0.0)
+    batch, _ = unversioned.drain(0)
+    assert batch == [u1, u2]  # no stamping: the exact objects round-trip
 
 
 def test_broadcast_invalidations_respects_conflict_map(directory):
@@ -119,3 +131,223 @@ def test_needs_flush_time_driven(directory):
     directory.on_local_update(0, Update("store", {}), 0.0)
     assert not directory.needs_flush(0, 50.0)
     assert directory.needs_flush(0, 100.0)
+
+
+# -- report_lost / requeue edge cases ----------------------------------------
+
+def stamped(directory, replica_id, n, now_ms=0.0):
+    """Buffer n updates through the directory so they carry version stamps."""
+    for i in range(n):
+        directory.on_local_update(
+            replica_id, Update("store", {"i": i}, multiplicity=1), now_ms
+        )
+
+
+def test_report_lost_empty_buffer_is_noop(directory):
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    assert directory.report_lost(0) == ([], 0)
+    assert directory.stats.lost_updates == 0
+    assert not directory.has_lost_buffers
+
+
+def test_report_lost_unknown_replica_is_noop(directory):
+    assert directory.report_lost(99) == ([], 0)
+    assert directory.stats.lost_updates == 0
+
+
+def test_double_report_lost_accounts_once(directory):
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    stamped(directory, 0, 3)
+    batch, units = directory.report_lost(0)
+    assert len(batch) == 3 and units == 3
+    assert directory.stats.lost_updates == 3
+    # The first report drained the buffer: a second report is a no-op.
+    assert directory.report_lost(0) == ([], 0)
+    assert directory.stats.lost_updates == 3
+    assert len(directory._lost_buffers[0][1]) == 3
+
+
+def test_report_lost_unversioned_discards_without_stash():
+    directory = CoherenceDirectory(versioned=False)
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    stamped(directory, 0, 2)
+    batch, units = directory.report_lost(0)
+    assert len(batch) == 2 and units == 2
+    assert directory.stats.lost_updates == 2  # accounted either way
+    assert not directory.has_lost_buffers  # ...but nothing kept for replay
+
+
+def test_unregister_with_pending_buffer_reports_lost(directory):
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    stamped(directory, 0, 2)
+    directory.unregister_replica(0)
+    assert directory.replicas_of("MailServer") == []
+    assert directory.stats.lost_updates == 2
+    assert directory.has_lost_buffers  # stashed for anti-entropy
+
+
+def test_requeue_after_concurrent_purge_enters_lost_ledger(directory):
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    stamped(directory, 0, 3)
+    batch, _ = directory.drain(0)  # flush in flight...
+    directory.unregister_replica(0)  # ...replica purged meanwhile
+    directory.requeue(0, batch)  # the failed flush comes back
+    assert directory.stats.lost_updates == 3
+    family, held = directory._lost_buffers[0]
+    assert family == "MailServer"  # tombstone preserved the family
+    assert len(held) == 3
+
+
+def test_requeue_after_purge_unversioned_accounts_without_stash():
+    directory = CoherenceDirectory(versioned=False)
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    stamped(directory, 0, 2)
+    batch, _ = directory.drain(0)
+    directory.unregister_replica(0)
+    directory.requeue(0, batch)
+    assert directory.stats.lost_updates == 2
+    assert not directory.has_lost_buffers
+
+
+def test_requeue_empty_batch_is_noop(directory):
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    directory.requeue(0, [])
+    directory.unregister_replica(0)
+    directory.requeue(0, [])
+    assert directory.stats.lost_updates == 0
+    assert not directory.has_lost_buffers
+
+
+# -- versioned admission -----------------------------------------------------
+
+def test_admit_rejects_replayed_update(directory):
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    stamped(directory, 0, 1)
+    (update,) = directory.drain(0)[0]
+    applier = ("primary", "MailServer")
+    assert directory.admit(applier, update)
+    assert not directory.admit(applier, update)  # replay rejected
+    assert directory.stats.duplicates_rejected == 1
+
+
+def test_admit_unversioned_update_always_passes(directory):
+    legacy = Update("store", {})
+    applier = ("primary", "MailServer")
+    assert directory.admit(applier, legacy)
+    assert directory.admit(applier, legacy)
+    assert directory.stats.duplicates_rejected == 0
+
+
+def test_admit_disabled_directory_never_rejects():
+    directory = CoherenceDirectory(versioned=False)
+    update = Update("store", {}, origin=0, seq=1)
+    assert directory.admit(("primary", "MailServer"), update)
+    assert directory.admit(("primary", "MailServer"), update)
+    assert directory.stats.duplicates_rejected == 0
+
+
+def test_degraded_counters(directory):
+    directory.note_degraded_read("MailServer")
+    directory.note_degraded_read("MailServer")
+    directory.note_degraded_write("MailServer")
+    assert directory.stats.degraded_reads == 2
+    assert directory.stats.degraded_writes == 1
+
+
+# -- anti-entropy reconcile --------------------------------------------------
+
+class FakePrimary:
+    """Collects replayed updates like a primary's apply_reconciled hook."""
+
+    def __init__(self, outcome="applied"):
+        self.replayed = []
+        self.outcome = outcome
+
+    def apply_reconciled(self, update, policy):
+        self.replayed.append(update)
+        return self.outcome
+
+
+def test_reconcile_replays_lost_buffer_at_primary(directory):
+    primary = FakePrimary()
+    directory.register_primary("MailServer", primary)
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    stamped(directory, 0, 3)
+    directory.report_lost(0)
+    (report,) = directory.reconcile(now_ms=100.0)
+    assert report.recovered == 3 and report.replayed == 3
+    assert report.duplicates == 0
+    assert len(primary.replayed) == 3
+    assert directory.stats.recovered_updates == 3
+    assert directory.stats.lost_updates == 0  # replays un-lose the ledger
+    assert not directory.has_lost_buffers
+
+
+def test_reconcile_skips_already_applied_updates(directory):
+    primary = FakePrimary()
+    directory.register_primary("MailServer", primary)
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    stamped(directory, 0, 3)
+    batch = list(directory.entry(0).pending)
+    # The first update reached the primary before the crash.
+    directory.admit(("primary", "MailServer"), batch[0])
+    directory.report_lost(0)
+    (report,) = directory.reconcile(now_ms=100.0)
+    assert report.recovered == 3
+    assert report.duplicates == 1
+    assert report.replayed == 2
+    assert [u.seq for u in primary.replayed] == [2, 3]
+    assert directory.stats.lost_updates == 1  # the duplicate stays accounted
+
+
+def test_reconcile_conflict_outcomes_are_counted(directory):
+    primary = FakePrimary(outcome="conflict")
+    directory.register_primary("MailServer", primary)
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    stamped(directory, 0, 2)
+    directory.report_lost(0)
+    (report,) = directory.reconcile(now_ms=100.0)
+    assert report.conflicts == 2
+    assert directory.stats.reconcile_conflicts == 2
+    assert report.outcomes == {"conflict": 2}
+
+
+def test_reconcile_without_merge_hook_leaves_buffer_lost(directory):
+    directory.register_primary("MailServer", object())  # no apply_reconciled
+    directory.register_replica("MailServer", cfg(3), FakeHost(), NeverPolicy())
+    stamped(directory, 0, 2)
+    directory.report_lost(0)
+    (report,) = directory.reconcile(now_ms=100.0)
+    assert report.replayed == 0
+    assert directory.stats.lost_updates == 2  # still accounted lost
+    assert not directory.has_lost_buffers  # but not retried forever
+
+
+def test_reconcile_noop_when_unversioned_or_empty(directory):
+    assert directory.reconcile(now_ms=0.0) == []
+    unversioned = CoherenceDirectory(versioned=False)
+    assert unversioned.reconcile(now_ms=0.0) == []
+
+
+@pytest.mark.parametrize("batched", [True, False])
+def test_reconcile_invalidation_fanout_matches_batch_knob(batched):
+    """Anti-entropy fan-out goes through the same conflict-map path as a
+    normal flush, whichever propagation mode the directory runs in."""
+    directory = CoherenceDirectory(
+        AttributeConflictMap("sensitivity", "TrustLevel", "le"),
+        batch_propagation=batched,
+    )
+    primary = FakePrimary()
+    directory.register_primary("MailServer", primary)
+    lost_host, live_host = FakeHost(), FakeHost()
+    directory.register_replica("MailServer", cfg(3), lost_host, NeverPolicy())
+    directory.register_replica("MailServer", cfg(5), live_host, NeverPolicy())
+    directory.on_local_update(
+        0, Update("store_message", {"sensitivity": 4}), 0.0
+    )
+    directory.report_lost(0)
+    directory.unregister_replica(0)  # the crashed replica is gone
+    (report,) = directory.reconcile(now_ms=50.0)
+    assert report.replayed == 1
+    assert report.invalidations == 1  # only the trust-5 replica qualifies
+    assert len(live_host.invalidations) == 1

@@ -155,3 +155,107 @@ def test_injection_metrics_and_applied_log(world):
     counters = world.obs.metrics.snapshot()["counters"]
     assert counters["faults.injected{kind=crash,subject=c}"] == 1
     assert counters["faults.injected{kind=restart,subject=c}"] == 1
+
+
+# -- network splits -----------------------------------------------------------
+
+def test_split_severs_cross_group_links_only(world):
+    injector = FaultInjector(world)
+    severed = injector.split_network((("a",), ("b", "c")))
+    assert severed == [("a", "b")]  # b-c is intra-group: untouched
+    assert not world.network.link("a", "b").up
+    assert not world.transport.link("a", "b").up
+    assert world.network.link("b", "c").up
+
+
+def test_split_ignores_ungrouped_nodes(world):
+    injector = FaultInjector(world)
+    severed = injector.split_network((("a",), ("b",)))
+    assert severed == [("a", "b")]
+    assert world.network.link("b", "c").up  # c in no group: keeps links
+
+
+def test_split_window_auto_heals(world):
+    plan = FaultPlan.parse(["split:a|b,c@100-500"])
+    FaultInjector(world, plan).schedule()
+    world.sim.run(until=200.0)
+    assert not world.network.link("a", "b").up
+    world.sim.run(until=600.0)
+    assert world.network.link("a", "b").up
+    assert world.transport.link("a", "b").up
+    counters = world.obs.metrics.snapshot()["counters"]
+    assert counters["faults.injected{kind=split,subject=a|b,c}"] == 1
+
+
+def test_split_skips_already_down_links(world):
+    injector = FaultInjector(world)
+    injector.partition_link("a", "b")
+    assert injector.split_network((("a",), ("b", "c"))) == []
+
+
+# -- message-fault windows (duplicate / reorder / corrupt) --------------------
+
+def test_duplicate_window_yields_verdict_on_route(world):
+    plan = FaultPlan.parse(["duplicate:a/b:1.0@0-10000"])
+    injector = FaultInjector(world, plan)
+    injector.schedule()
+    world.sim.run(until=1.0)  # let the window-open event fire
+    # The a->c route crosses a-b: the window matches.
+    assert injector._message_verdicts("a", "c") == ("duplicate",)
+    # The b->c route does not touch a-b.
+    assert injector._message_verdicts("b", "c") == ()
+
+
+def test_corrupt_window_yields_verdict(world):
+    plan = FaultPlan.parse(["corrupt:b/c:1.0@0-10000"])
+    injector = FaultInjector(world, plan)
+    injector.schedule()
+    world.sim.run(until=1.0)
+    assert injector._message_verdicts("a", "c") == ("corrupt",)
+
+
+def test_reorder_window_yields_bounded_hold(world):
+    plan = FaultPlan.parse(["reorder:a/b:50@0-10000"])
+    injector = FaultInjector(world, plan)
+    injector.schedule()
+    world.sim.run(until=1.0)
+    verdicts = injector._message_verdicts("a", "b")
+    assert len(verdicts) == 1
+    kind, hold = verdicts[0]
+    assert kind == "reorder"
+    assert 0.0 < hold <= 50.0
+
+
+def test_message_window_expires(world):
+    plan = FaultPlan.parse(["duplicate:a/b:1.0@0-100"])
+    injector = FaultInjector(world, plan)
+    injector.schedule()
+    world.sim.run(until=200.0)
+    assert injector._message_verdicts("a", "b") == ()
+
+
+def test_message_verdicts_probability_zero_never_fires(world):
+    plan = FaultPlan.parse(["duplicate:a/b:0.0@0-10000", "corrupt:a/b:0.0@0-10000"])
+    injector = FaultInjector(world, plan)
+    injector.schedule()
+    world.sim.run(until=1.0)
+    for _ in range(20):
+        assert injector._message_verdicts("a", "b") == ()
+
+
+def test_message_verdicts_on_disconnected_route_are_empty(world):
+    plan = FaultPlan.parse(["duplicate:a/b:1.0@0-10000"])
+    injector = FaultInjector(world, plan)
+    injector.schedule()
+    world.sim.run(until=1.0)
+    injector.partition_link("a", "b")
+    # No route: the transport itself reports unreachability; no verdicts.
+    assert injector._message_verdicts("a", "c") == ()
+
+
+def test_schedule_rejects_invalid_plan(world):
+    from repro.faults import FaultPlanError
+
+    plan = FaultPlan.parse(["crash:b@100", "crash:b@100"])
+    with pytest.raises(FaultPlanError):
+        FaultInjector(world, plan).schedule()

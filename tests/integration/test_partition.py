@@ -1,40 +1,67 @@
-"""Network partition: requests over severed paths fail gracefully and
-replanning recovers service."""
+"""Network partition: requests over severed paths degrade or fail
+gracefully, and replanning/routing recovers service.
+
+Under versioned coherence (the default) a view answers reads it cannot
+forward upstream from its own store — a *degraded* read, counted in the
+coherence stats.  With ``versioned_coherence=False`` the runtime keeps
+the original fail-stop behavior: the request surfaces a clean retryable
+failure instead.
+"""
 
 import pytest
 
 from repro.experiments.mail_setup import build_mail_testbed
-from repro.network.monitor import NetworkMonitor
-from repro.smock.replanner import ReplanManager
 
 
-def test_partition_surfaces_as_failure_not_crash():
+def _sever_sandiego(rt):
+    rt.network.remove_link("newyork-gw", "sandiego-gw")
+    rt.network.remove_link("sandiego-gw", "seattle-gw")
+
+
+def test_partition_serves_degraded_reads():
     tb = build_mail_testbed(clients_per_site=2, flush_policy="never")
     rt = tb.runtime
     proxy = rt.run(rt.client_connect("sandiego-client1", {"User": "Bob"}))
-
-    # Sever San Diego from the world.
-    rt.network.remove_link("newyork-gw", "sandiego-gw")
-    rt.network.remove_link("sandiego-gw", "seattle-gw")
+    _sever_sandiego(rt)
 
     # Local sends still work (absorbed by the local cache).
     local = rt.run(proxy.request(
         "send_mail", {"recipient": "Alice", "sensitivity": 2, "body": "x"}))
     assert local.ok
 
-    # A fetch forced upstream cannot cross the partition: clean failure.
+    # A fetch forced upstream cannot cross the partition: the view
+    # serves what it holds locally and accounts the stale read.
+    remote = rt.run(proxy.request(
+        "fetch_mail", {"user": "Bob", "max_sensitivity": 5}))
+    assert remote.ok
+    assert rt.coherence.stats.degraded_reads == 1
+
+
+def test_partition_surfaces_as_failure_not_crash_unversioned():
+    tb = build_mail_testbed(clients_per_site=2, flush_policy="never",
+                            versioned_coherence=False)
+    rt = tb.runtime
+    proxy = rt.run(rt.client_connect("sandiego-client1", {"User": "Bob"}))
+    _sever_sandiego(rt)
+
+    local = rt.run(proxy.request(
+        "send_mail", {"recipient": "Alice", "sensitivity": 2, "body": "x"}))
+    assert local.ok
+
+    # Fail-stop coherence: the upstream fetch fails cleanly, no crash.
     remote = rt.run(proxy.request(
         "fetch_mail", {"user": "Bob", "max_sensitivity": 5}))
     assert not remote.ok
     assert "unreachable" in remote.error
+    assert rt.coherence.stats.degraded_reads == 0
 
 
 def test_partition_heals_and_requests_recover():
-    tb = build_mail_testbed(clients_per_site=2, flush_policy="never")
+    tb = build_mail_testbed(clients_per_site=2, flush_policy="never",
+                            versioned_coherence=False)
     rt = tb.runtime
     proxy = rt.run(rt.client_connect("sandiego-client1", {"User": "Bob"}))
-    rt.network.remove_link("newyork-gw", "sandiego-gw")
-    rt.network.remove_link("sandiego-gw", "seattle-gw")
+    _sever_sandiego(rt)
     bad = rt.run(proxy.request("fetch_mail", {"user": "Bob", "max_sensitivity": 5}))
     assert not bad.ok
 
