@@ -19,9 +19,13 @@ OUTAGE_MS = 19_000.0  # crash at +1 s, restart at +20 s
 
 
 def run_chaos(with_faults=True, n_sends=60, n_receives=5, versioned=True):
+    # Telemetry on everywhere in this file: the zero-overhead pair below
+    # compares two runs that both carry the sampler, so its tick events
+    # cancel out of the signature.
     tb = build_mail_testbed(clients_per_site=2, flush_policy="count:500",
                             algorithm="dp_chain",
-                            versioned_coherence=versioned)
+                            versioned_coherence=versioned,
+                            telemetry_interval_ms=500.0)
     rt = tb.runtime
     if with_faults:
         replanner = rt.enable_self_healing(heartbeat_interval_ms=250.0,
@@ -72,6 +76,26 @@ def test_failover_availability_and_mttr(benchmark, report_lines):
         f"{detection['mean']:.0f} sim ms, MTTR {recovery['mean']:.0f} sim ms "
         f"(crash → rebound proxy), {proxy.retries} retries, "
         f"{rt.coherence.stats.lost_updates} lost updates accounted"
+    )
+
+    # SLO verdict from the windowed telemetry the sampler collected.
+    from repro.obs.slo import DEFAULT_MAIL_SLO, SLOSpec, evaluate_slo
+
+    report = evaluate_slo(
+        SLOSpec.from_dict(DEFAULT_MAIL_SLO), get_default_obs().metrics,
+        coherence_stats=rt.coherence.stats,
+    )
+    assert report.rows, "SLO evaluation produced no objectives"
+    assert any(row.windows > 0 for row in report.rows), (
+        "no closed telemetry windows — sampler did not run"
+    )
+    benchmark.extra_info["slo_passed"] = report.passed
+    verdict = "PASS" if report.passed else "FAIL"
+    burns = [row.budget_burn for row in report.rows if row.budget_burn]
+    report_lines.append(
+        f"failover SLO [{report.spec_name}]: {verdict} across "
+        f"{len(report.rows)} objectives, max error-budget burn "
+        f"{max(burns) if burns else 0.0:.2f}"
     )
 
 

@@ -156,6 +156,15 @@ def cmd_mail(args: argparse.Namespace) -> int:
 
     fast = not args.no_fast_path
     crypto.configure_cache(fast)
+    # --slo / --flight need the sampler; default its interval on demand.
+    telemetry_interval = args.telemetry_interval
+    if telemetry_interval is None and (args.slo or args.flight):
+        telemetry_interval = 500.0
+    flight = None
+    if args.flight:
+        from .obs import FlightRecorder
+
+        flight = FlightRecorder()
     testbed = build_mail_testbed(
         clients_per_site=max(1, args.clients_per_site),
         flush_policy=args.flush_policy,
@@ -167,6 +176,8 @@ def cmd_mail(args: argparse.Namespace) -> int:
         proxy_fast_path=fast,
         batch_coherence=fast,
         versioned_coherence=not args.no_versioned_coherence,
+        telemetry_interval_ms=telemetry_interval,
+        flight=flight,
     )
     runtime = testbed.runtime
     sites = args.sites
@@ -293,6 +304,28 @@ def cmd_mail(args: argparse.Namespace) -> int:
             f"{stats.degraded_reads} degraded reads, "
             f"{stats.degraded_writes} degraded writes"
         )
+    if args.slo:
+        from .obs.slo import evaluate_slo, load_slo_spec
+
+        report = evaluate_slo(
+            load_slo_spec(args.slo), runtime.obs.metrics,
+            coherence_stats=stats,
+        )
+        for line in report.render().splitlines():
+            log.info(line)
+        if args.slo_report:
+            import json as _json
+            import os as _os
+
+            parent = _os.path.dirname(args.slo_report)
+            if parent:
+                _os.makedirs(parent, exist_ok=True)
+            with open(args.slo_report, "w") as fh:
+                _json.dump(report.to_dict(), fh, indent=2)
+            log.info(f"[slo] report -> {args.slo_report}")
+    if flight is not None:
+        written = flight.dump_jsonl(args.flight)
+        log.info(f"[flight] {written} records -> {args.flight}")
     log.info(f"simulated time: {runtime.sim.now:.1f} ms")
     return 0
 
@@ -307,6 +340,11 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
 
     from .chaos import ChaosCaseConfig, run_chaos_case
 
+    # Artifacts want a flight recording, which needs the sampler;
+    # default its interval on demand.
+    telemetry_interval = args.telemetry_interval
+    if telemetry_interval is None and args.artifacts:
+        telemetry_interval = 500.0
     config = ChaosCaseConfig(
         n_sends=args.sends,
         n_receives=args.receives,
@@ -314,6 +352,8 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
         horizon_ms=args.horizon,
         kinds=args.kinds or None,
         versioned_coherence=not args.no_versioned_coherence,
+        telemetry_interval_ms=telemetry_interval,
+        slo=args.slo,
     )
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     log.info(
@@ -322,6 +362,7 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
         f"{config.versioned_coherence}"
     )
     failures = []
+    slo_reports: dict = {}
     log.info(f"{'seed':>6}  {'ok':2}  {'acked':>5}  {'retries':>7}  "
              f"{'recovered':>9}  {'degraded':>8}  {'dup-rej':>7}  faults")
     for seed in seeds:
@@ -344,6 +385,11 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
         )
         for violation in result.violations:
             log.error(f"        {violation}")
+        if result.slo_report is not None and not result.slo_report["passed"]:
+            missed = sum(1 for row in result.slo_report["rows"] if not row["ok"])
+            log.info(f"        slo: {missed} objective(s) violated")
+        if result.slo_report is not None:
+            slo_reports[str(seed)] = result.slo_report
         if not result.ok:
             failures.append(result)
 
@@ -351,7 +397,7 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
         f"chaos-sweep: {len(seeds) - len(failures)}/{len(seeds)} seeds passed "
         f"every invariant"
     )
-    if failures and args.artifacts:
+    if args.artifacts and (failures or slo_reports):
         os.makedirs(args.artifacts, exist_ok=True)
         for result in failures:
             path = os.path.join(args.artifacts, f"seed-{result.seed}.json")
@@ -368,8 +414,21 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
                     fh,
                     indent=2,
                 )
-        log.info(f"chaos-sweep: wrote {len(failures)} failure artifacts "
-                 f"to {args.artifacts}")
+            if result.flight is not None:
+                from .obs.flight import dump_records_jsonl
+
+                flight_path = os.path.join(
+                    args.artifacts, f"seed-{result.seed}-flight.jsonl"
+                )
+                dump_records_jsonl(
+                    result.flight, flight_path, dropped=result.flight_dropped
+                )
+        if slo_reports:
+            with open(os.path.join(args.artifacts, "slo-reports.json"), "w") as fh:
+                _json.dump(slo_reports, fh, indent=2)
+        if failures:
+            log.info(f"chaos-sweep: wrote {len(failures)} failure artifacts "
+                     f"(+ flight recordings) to {args.artifacts}")
     return 1 if failures else 0
 
 
@@ -505,6 +564,21 @@ def main(argv=None) -> int:
     chaos.add_argument("--max-retries", type=int, default=15,
                        help="retry budget per request; size it to outlive "
                             "the longest outage in the fault plan")
+    tele = p.add_argument_group("telemetry / SLO")
+    tele.add_argument("--telemetry-interval", type=float, default=None,
+                      metavar="MS",
+                      help="sample queue depths, utilizations and windowed "
+                           "percentiles every MS simulated ms "
+                           "(default: off; implied 500 by --slo/--flight)")
+    tele.add_argument("--slo", metavar="SPEC", default=None,
+                      help='evaluate an SLO spec after the run: "default", '
+                           "a YAML/JSON spec file, or an inline JSON object "
+                           "(enables metrics + the telemetry sampler)")
+    tele.add_argument("--slo-report", metavar="PATH", default=None,
+                      help="also write the SLO report as JSON to PATH")
+    tele.add_argument("--flight", metavar="PATH", default=None,
+                      help="dump the flight-recorder ring (recent telemetry "
+                           "samples) as JSONL to PATH at exit")
     p.set_defaults(fn=cmd_mail)
 
     p = sub.add_parser(
@@ -534,7 +608,16 @@ def main(argv=None) -> int:
     p.add_argument("--no-versioned-coherence", action="store_true",
                    help="sweep under fail-stop coherence instead")
     p.add_argument("--artifacts", metavar="DIR", default=None,
-                   help="write a JSON artifact per failing seed into DIR")
+                   help="write a JSON artifact (plus a flight-recorder "
+                        "JSONL) per failing seed into DIR; SLO reports land "
+                        "in DIR/slo-reports.json")
+    p.add_argument("--telemetry-interval", type=float, default=None,
+                   metavar="MS",
+                   help="per-case telemetry sampling interval in simulated "
+                        "ms (default: off; implied 500 by --artifacts)")
+    p.add_argument("--slo", metavar="SPEC", default=None,
+                   help='SLO spec evaluated per seed ("default" or a '
+                        "YAML/JSON spec file)")
     p.set_defaults(fn=cmd_chaos_sweep)
 
     args = parser.parse_args(argv)
@@ -542,7 +625,15 @@ def main(argv=None) -> int:
 
     obs = None
     previous = None
-    if args.trace or args.metrics:
+    # --slo and --telemetry-interval need a live metrics registry even
+    # when --metrics wasn't asked for explicitly.
+    wants_metrics = (
+        args.metrics
+        or getattr(args, "slo", None) is not None
+        or getattr(args, "telemetry_interval", None) is not None
+        or getattr(args, "flight", None) is not None
+    )
+    if args.trace or wants_metrics:
         obs = Observability(tracing=args.trace is not None, metrics=True)
         previous = set_default_obs(obs)
     try:

@@ -59,6 +59,15 @@ class ChaosCaseConfig:
     max_retries: int = 15
     heartbeat_interval_ms: float = 250.0
     miss_threshold: int = 3
+    #: continuous-telemetry knob (None = no sampler; the sampler's tick
+    #: events change the event count, so the signature is only
+    #: comparable between runs with the same interval — which the
+    #: sweep/determinism harness guarantees by sharing one config)
+    telemetry_interval_ms: Optional[float] = None
+    flight_capacity: int = 512
+    #: SLO spec evaluated after the run: "default", a spec-file path,
+    #: or an inline mapping (see repro.obs.slo); None skips evaluation
+    slo: Optional[Any] = None
 
 
 @dataclass
@@ -74,6 +83,12 @@ class ChaosCaseResult:
     attempted_sends: int
     finished: bool
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: flight-recorder ring (recent telemetry samples + fault/violation
+    #: events), populated when config.telemetry_interval_ms is set
+    flight: Optional[List[Dict[str, Any]]] = None
+    flight_dropped: int = 0
+    #: evaluated SLO report (dict form), populated when config.slo is set
+    slo_report: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -164,11 +179,18 @@ def run_chaos_case(
     """Run one seeded chaos experiment end to end."""
     config = config or ChaosCaseConfig()
     obs = Observability(tracing=False, metrics=True)
+    flight = None
+    if config.telemetry_interval_ms:
+        from ..obs.flight import FlightRecorder
+
+        flight = FlightRecorder(capacity=config.flight_capacity)
     with use_obs(obs):
         testbed = build_mail_testbed(
             clients_per_site=config.clients_per_site,
             flush_policy=config.flush_policy,
             versioned_coherence=config.versioned_coherence,
+            telemetry_interval_ms=config.telemetry_interval_ms,
+            flight=flight,
         )
         runtime = testbed.runtime
         replanner = runtime.enable_self_healing(
@@ -201,6 +223,9 @@ def run_chaos_case(
             kinds=config.kinds,
         )
         FaultInjector(runtime, plan).schedule()
+        if flight is not None:
+            for line in plan.describe():
+                flight.event("fault_scheduled", t0, spec=line)
 
         users = [user for _s, user, _p in proxies]
         procs = []
@@ -253,6 +278,23 @@ def run_chaos_case(
                 elif p.failed:
                     violations.append(f"workload {p.name} crashed: {p.value!r}")
 
+        if flight is not None:
+            for violation in violations:
+                flight.event("violation", runtime.sim.now, detail=violation)
+
+        slo_report = None
+        if config.slo is not None:
+            from ..obs.slo import SLOSpec, evaluate_slo, load_slo_spec
+
+            spec = (
+                load_slo_spec(config.slo)
+                if isinstance(config.slo, str)
+                else SLOSpec.from_dict(config.slo)
+            )
+            slo_report = evaluate_slo(
+                spec, obs.metrics, coherence_stats=runtime.coherence.stats
+            ).to_dict()
+
         st = runtime.coherence.stats
         return ChaosCaseResult(
             seed=seed,
@@ -273,6 +315,9 @@ def run_chaos_case(
                 "reconcile_conflicts": st.reconcile_conflicts,
                 "retries": sum(p.retries for _s, _u, p in proxies),
             },
+            flight=flight.records() if flight is not None else None,
+            flight_dropped=flight.dropped if flight is not None else 0,
+            slo_report=slo_report,
         )
 
 

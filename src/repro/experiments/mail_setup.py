@@ -53,6 +53,8 @@ def build_mail_testbed(
     proxy_fast_path: bool = True,
     batch_coherence: bool = True,
     versioned_coherence: bool = True,
+    telemetry_interval_ms: Optional[float] = None,
+    flight=None,
     obs=None,
 ) -> MailTestbed:
     """The standard case-study testbed.
@@ -75,6 +77,11 @@ def build_mail_testbed(
     :class:`SmockRuntime` — the
     runtime hot-path knobs (see ARCHITECTURE.md), used by the
     determinism tests to pin fast-on vs fast-off equivalence.
+
+    ``telemetry_interval_ms`` / ``flight`` pass through to
+    :class:`SmockRuntime`'s continuous-telemetry knobs (``None`` = no
+    sampler at all, ``0`` = constructed but disabled, ``> 0`` = sample
+    every that-many simulated ms into ``runtime.sampler``).
     """
     spec = build_mail_spec()
     topo = build_fig5_network(clients_per_site=clients_per_site)
@@ -100,6 +107,8 @@ def build_mail_testbed(
         proxy_fast_path=proxy_fast_path,
         batch_coherence=batch_coherence,
         versioned_coherence=versioned_coherence,
+        telemetry_interval_ms=telemetry_interval_ms,
+        flight=flight,
         obs=obs,
     )
     runtime.service_state["mail_users"] = tuple(users)

@@ -41,10 +41,13 @@ from .core import (
     set_default_obs,
     use_obs,
 )
+from .flight import FlightRecorder
 from .logs import JsonFormatter, configure_logging, get_logger
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import TraceRecorder, load_jsonl
+from .slo import DEFAULT_MAIL_SLO, SLOReport, SLOSpec, evaluate_slo, load_slo_spec
 from .span import NULL_SPAN, Span
+from .timeseries import TelemetrySampler, TimeSeries, WindowedHistogram
 from .tracer import Tracer
 
 __all__ = [
@@ -64,6 +67,15 @@ __all__ = [
     "Histogram",
     "TraceRecorder",
     "load_jsonl",
+    "TimeSeries",
+    "WindowedHistogram",
+    "TelemetrySampler",
+    "SLOSpec",
+    "SLOReport",
+    "evaluate_slo",
+    "load_slo_spec",
+    "DEFAULT_MAIL_SLO",
+    "FlightRecorder",
     "configure_logging",
     "get_logger",
     "JsonFormatter",

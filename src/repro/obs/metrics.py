@@ -37,10 +37,15 @@ def _format_key(name: str, labels: LabelKey) -> str:
 
 
 def percentile(sorted_values: List[float], q: float) -> float:
-    """Exact percentile (nearest-rank) over pre-sorted values."""
+    """Exact percentile (nearest-rank) over pre-sorted values.
+
+    Total: an empty input yields 0.0 (no observations means no latency,
+    the same convention as ``Monitor.percentile``), and a single element
+    is every percentile of itself — callers never need to guard.
+    """
     if not sorted_values:
-        raise ValueError("no observations")
-    rank = max(1, math.ceil(q * len(sorted_values)))
+        return 0.0
+    rank = min(len(sorted_values), max(1, math.ceil(q * len(sorted_values))))
     return sorted_values[rank - 1]
 
 
@@ -144,6 +149,29 @@ class MetricsRegistry:
         h = self._histograms.get(key)
         if h is None:
             h = self._histograms[key] = Histogram(name, key[1])
+        return h
+
+    def windowed_histogram(self, name: str, **labels: Any) -> "Any":
+        """Handle accessor for a log-bucket windowed histogram (see
+        :class:`repro.obs.timeseries.WindowedHistogram`).
+
+        Lives in the same ``_histograms`` table as plain histograms —
+        ``snapshot()``/``render()`` treat both uniformly via
+        ``summary()`` — but supports per-interval rotation by the
+        telemetry sampler.  A name may be one kind or the other, not
+        both: requesting a windowed handle for an existing plain
+        histogram raises rather than silently discarding observations.
+        """
+        from .timeseries import WindowedHistogram
+
+        key = _key(name, labels)
+        h = self._histograms.get(key)
+        if h is None:
+            h = self._histograms[key] = WindowedHistogram(name, key[1])
+        elif not isinstance(h, WindowedHistogram):
+            raise TypeError(
+                f"{_format_key(name, key[1])} already exists as a plain Histogram"
+            )
         return h
 
     # -- one-shot mutation helpers ------------------------------------------

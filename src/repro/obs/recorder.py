@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 from typing import Any, Dict, IO, List, Optional, Union
 
 __all__ = ["TraceRecorder", "load_jsonl"]
@@ -57,9 +58,13 @@ class TraceRecorder:
         """Write every record as one JSON object per line.
 
         ``target`` is a path or a text file object; returns the number
-        of records written.
+        of records written.  Path targets get missing parent directories
+        created, so ``--trace out/dir/trace.jsonl`` just works.
         """
         if isinstance(target, str):
+            parent = os.path.dirname(target)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
             with open(target, "w") as fp:
                 return self.to_jsonl(fp)
         for record in self.records:

@@ -72,6 +72,18 @@ def mail_workload(
     result = WorkloadResult(user=config.user)
     body = "x" * config.body_bytes
 
+    # Per-op latency histograms at the workload layer (windowed, so SLO
+    # reports get per-interval percentiles); handles resolved once.
+    metrics = proxy.runtime.obs.metrics
+    send_hist = recv_hist = None
+    if metrics.enabled:
+        send_hist = metrics.windowed_histogram(
+            "workload.op_sim_ms", service="mail", op="send_mail"
+        )
+        recv_hist = metrics.windowed_histogram(
+            "workload.op_sim_ms", service="mail", op="fetch_mail"
+        )
+
     for i in range(config.n_sends):
         recipient = rng.choice(list(config.peers)) if config.peers else config.user
         sensitivity = rng.randint(1, config.max_sensitivity)
@@ -87,6 +99,8 @@ def mail_workload(
             size_bytes=config.body_bytes + 128,
         )
         result.send_latency.observe(sim.now - t0)
+        if send_hist is not None:
+            send_hist.observe(sim.now - t0)
         if not resp.ok:
             result.errors.append(f"send[{i}]: {resp.error}")
 
@@ -100,6 +114,8 @@ def mail_workload(
             size_bytes=256,
         )
         result.receive_latency.observe(sim.now - t0)
+        if recv_hist is not None:
+            recv_hist.observe(sim.now - t0)
         if not resp.ok:
             result.errors.append(f"receive[{i}]: {resp.error}")
 

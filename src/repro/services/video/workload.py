@@ -67,6 +67,15 @@ def stream_session(
     sim = proxy.runtime.sim
     result = StreamResult(content=config.content, started_ms=sim.now)
 
+    # Same per-op workload-layer latency histogram the mail workload
+    # records, so SLO reports cover both services uniformly.
+    metrics = proxy.runtime.obs.metrics
+    play_hist = None
+    if metrics.enabled:
+        play_hist = metrics.windowed_histogram(
+            "workload.op_sim_ms", service="video", op="play"
+        )
+
     # Pre-draw the frame schedule (deterministic given the seed).
     schedule: List[int] = []
     seq = 0
@@ -89,6 +98,8 @@ def stream_session(
                 "play", {"content": config.content, "seq": frame_no}, size_bytes=128
             )
             result.frame_latency.observe(sim.now - t0)
+            if play_hist is not None:
+                play_hist.observe(sim.now - t0)
             if not resp.ok:
                 result.errors.append(f"frame[{i}]: {resp.error}")
 

@@ -66,6 +66,14 @@ class Resource:
             return 0.0
         return self._busy_area / (elapsed * self.capacity)
 
+    def busy_area(self) -> float:
+        """Cumulative busy integral in slot-ms, settled to the current
+        sim time.  Deltas of this between two instants give per-interval
+        utilization (the telemetry sampler's probe), where
+        :meth:`utilization` only gives the since-creation average."""
+        self._account()
+        return self._busy_area
+
     def request(self) -> Event:
         """Event that triggers when a slot is granted to the caller."""
         ev = self.sim.event()

@@ -177,10 +177,15 @@ class ServiceProxy:
         if metrics.enabled:
             hist = self._op_hist.get(op)
             if hist is None:
-                hist = self._op_hist[op] = metrics.histogram(
+                # Windowed so the telemetry sampler can rotate per-op
+                # p50/p99/p999 into time series; cumulative summaries
+                # are unchanged in shape.
+                hist = self._op_hist[op] = metrics.windowed_histogram(
                     "smock.request_sim_ms", op=op
                 )
             hist.observe(elapsed)
+            if not resp.ok:
+                metrics.inc("smock.request_errors", op=op)
         return resp
 
     def _robust_request(

@@ -79,6 +79,9 @@ class SmockRuntime:
         proxy_fast_path: bool = True,
         batch_coherence: bool = True,
         versioned_coherence: bool = True,
+        telemetry_interval_ms: Optional[float] = None,
+        telemetry_capacity: int = 720,
+        flight: Any = None,
     ) -> None:
         self.network = network
         self.obs = resolve_obs(obs)
@@ -139,6 +142,27 @@ class SmockRuntime:
             view_policy=view_policy,
         )
 
+        #: continuous telemetry (see ARCHITECTURE.md "telemetry
+        #: pipeline").  ``None`` constructs nothing — byte-identical to
+        #: a runtime without the feature; ``0`` constructs a disabled
+        #: sampler (machinery present, zero work, fast paths untouched);
+        #: ``> 0`` samples every that-many simulated ms.
+        self.flight = flight
+        self.sampler: Optional[Any] = None
+        if telemetry_interval_ms is not None:
+            from ..obs.timeseries import TelemetrySampler
+
+            self.sampler = TelemetrySampler(
+                self.sim,
+                metrics=self.obs.metrics,
+                interval_ms=telemetry_interval_ms,
+                capacity=telemetry_capacity,
+                flight=flight,
+            )
+            if self.sampler.enabled:
+                self.sampler.attach_runtime(self)
+                self.sampler.start()
+
     # -- bundle plumbing ---------------------------------------------------------
     def _make_bundle(
         self,
@@ -185,7 +209,13 @@ class SmockRuntime:
             raise DeploymentError(f"no service registered as {service_name!r}") from None
 
     def bundles(self) -> List[ServiceBundle]:
-        return list(dict.fromkeys(self._bundles.values()))
+        # Dedup by identity, not dict.fromkeys: ServiceBundle is an
+        # eq-generating dataclass and therefore unhashable.
+        seen: List[ServiceBundle] = []
+        for bundle in self._bundles.values():
+            if not any(bundle is b for b in seen):
+                seen.append(bundle)
+        return seen
 
     # -- single-service compatibility surface (the primary bundle) ---------------
     @property

@@ -113,6 +113,14 @@ class RuntimeTransport:
         #: network.version the compiled cache was built against; any
         #: topology mutation bumps it and strands this epoch.
         self._routes_version = network.version
+        #: telemetry knob: off keeps deliver() on the pristine compiled
+        #: walk below with zero extra work; a TelemetrySampler attaching
+        #: to the runtime flips it on via :meth:`enable_telemetry`.
+        self._telemetry = False
+        #: bytes currently traversing each link (both directions),
+        #: maintained only while telemetry is enabled — pure Python
+        #: accounting, never schedules or reorders events.
+        self.link_inflight: Dict[str, int] = {}
         # Metric handles resolved once (the engine.Simulator pattern):
         # deliver() runs per message and must not pay registry lookups.
         metrics = sim.obs.metrics
@@ -122,6 +130,11 @@ class RuntimeTransport:
         else:
             self._m_compiled = None
             self._m_hits = None
+
+    def enable_telemetry(self) -> None:
+        """Switch delivery onto the telemetry walk: identical events and
+        timestamps, plus per-link in-flight byte accounting."""
+        self._telemetry = True
 
     def node(self, name: str) -> SimNode:
         return self.nodes[name]
@@ -177,7 +190,7 @@ class RuntimeTransport:
         if src == dst:
             return
         hook = self.fault_hook
-        if hook is None and self.compile_routes:
+        if hook is None and self.compile_routes and not self._telemetry:
             # Fast path: replay the compiled walk.  Mirrors the slow
             # path below plus the inlined body of SimLink.transfer —
             # identical checks, events, timestamps, and stats.
@@ -211,6 +224,52 @@ class RuntimeTransport:
             self.bytes_sent += size_bytes
             self.stats.observe(sim.now - start)
             return
+        if hook is None and self.compile_routes:
+            # Telemetry walk: the compiled walk above, verbatim, plus
+            # in-flight byte accounting per hop.  The accounting is
+            # plain dict arithmetic between the same yields, so the
+            # event sequence — and therefore every simulated result —
+            # is unchanged; only wall-clock cost differs.
+            sim = self.sim
+            inflight = self.link_inflight
+            start = sim.now
+            for link, tx, bw_bps, latency_ms, arrival, _a, _b in self.route(
+                src, dst
+            ).hops:
+                if not link.up:
+                    raise LinkDownError(f"link {link.name} is partitioned")
+                hop_start = sim.now
+                lname = link.name
+                inflight[lname] = inflight.get(lname, 0) + size_bytes
+                try:
+                    yield tx.request()
+                    try:
+                        if bw_bps:
+                            yield sim.timeout((size_bytes * 8) / bw_bps * 1e3)
+                        else:
+                            yield sim.timeout(0.0)
+                    finally:
+                        tx.release()
+                    if not link.up:
+                        raise LinkDownError(
+                            f"link {link.name} partitioned mid-transfer"
+                        )
+                    yield sim.timeout(latency_ms)
+                finally:
+                    inflight[lname] -= size_bytes
+                link.bytes_carried += size_bytes
+                link.stats.observe(sim.now - hop_start)
+                if not arrival.up:
+                    raise NodeDownError(
+                        f"message {src} -> {dst} arrived at crashed node "
+                        f"{arrival.name!r}"
+                    )
+            self.messages_sent += 1
+            self.bytes_sent += size_bytes
+            self.stats.observe(sim.now - start)
+            return
+        telemetry = self._telemetry
+        inflight = self.link_inflight
         start = self.sim.now
         path = self.network.path(src, dst)
         cur = src
@@ -224,7 +283,15 @@ class RuntimeTransport:
                 if verdict:
                     yield self.sim.timeout(float(verdict))
             link = self.link(hop.a, hop.b)
-            yield from link.transfer(cur, size_bytes)
+            if telemetry:
+                lname = link.name
+                inflight[lname] = inflight.get(lname, 0) + size_bytes
+                try:
+                    yield from link.transfer(cur, size_bytes)
+                finally:
+                    inflight[lname] -= size_bytes
+            else:
+                yield from link.transfer(cur, size_bytes)
             cur = link.other_end(cur)
             if not self.nodes[cur].up:
                 raise NodeDownError(

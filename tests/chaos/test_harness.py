@@ -53,6 +53,35 @@ def test_unversioned_case_accounts_losses_instead_of_recovering():
         assert any("lost" in v for v in result.violations)
 
 
+def test_chaos_case_with_telemetry_flight_and_slo():
+    cfg = ChaosCaseConfig(
+        n_sends=12, n_receives=2, n_faults=2,
+        telemetry_interval_ms=500.0, slo="default",
+    )
+    result = run_chaos_case(0, cfg)
+    assert result.finished
+    # The flight ring holds the recent sampler ticks plus the scheduled
+    # faults, and the SLO report was evaluated over windowed telemetry.
+    assert result.flight, "telemetry on but flight ring empty"
+    kinds = {r["kind"] for r in result.flight}
+    assert "sample" in kinds and "event" in kinds
+    scheduled = [
+        r for r in result.flight
+        if r["kind"] == "event" and r["name"] == "fault_scheduled"
+    ]
+    assert len(scheduled) == len(result.plan)
+    assert result.slo_report is not None
+    assert result.slo_report["spec"] == "mail-default"
+    assert any(row["windows"] > 0 for row in result.slo_report["rows"])
+
+
+def test_chaos_telemetry_off_leaves_result_lean():
+    result = run_chaos_case(0, FAST)
+    assert result.flight is None
+    assert result.flight_dropped == 0
+    assert result.slo_report is None
+
+
 def test_result_ok_requires_finished_and_clean():
     clean = ChaosCaseResult(
         seed=0, plan=[], violations=[], signature="x",

@@ -63,8 +63,33 @@ def test_percentile_nearest_rank():
     assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
     assert percentile([1.0, 2.0, 3.0, 4.0], 0.99) == 4.0
     assert percentile([5.0], 0.01) == 5.0
-    with pytest.raises(ValueError):
-        percentile([], 0.5)
+
+
+def test_percentile_is_total():
+    # Edge cases must not raise: empty input and out-of-range ranks
+    # clamp instead of blowing up mid-report.
+    assert percentile([], 0.5) == 0.0
+    assert percentile([], 0.0) == 0.0
+    assert percentile([7.0], 0.0) == 7.0
+    assert percentile([7.0], 1.0) == 7.0
+    assert percentile([1.0, 2.0], 1.0) == 2.0
+    assert percentile([1.0, 2.0], 2.0) == 2.0  # rank clamped to len
+
+
+def test_snapshot_and_render_label_ordering():
+    # Labels are canonicalised (sorted by key) in every rendered form,
+    # regardless of the order call sites pass them in.
+    m = MetricsRegistry()
+    m.inc("req", op="send", site="sd")
+    m.inc("req", site="sd", op="send")
+    m.observe("lat_ms", 1.0, zone="b", op="x")
+    snap = m.snapshot()
+    assert snap["counters"] == {"req{op=send,site=sd}": 2}
+    assert list(snap["histograms"]) == ["lat_ms{op=x,zone=b}"]
+    text = m.render()
+    assert "req{op=send,site=sd}" in text
+    assert "lat_ms{op=x,zone=b}" in text
+    assert "zone=b,op=x" not in text and "site=sd,op=send" not in text
 
 
 def test_disabled_registry_records_nothing():

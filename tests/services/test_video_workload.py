@@ -62,6 +62,26 @@ def test_jitter_reflects_cache_hits(session_result):
     assert result.frame_latency.percentile(50) > 0
 
 
+def test_stream_records_per_op_latency_histograms():
+    """Video gets the same per-op windowed telemetry as mail: proxy-level
+    request latency and workload-level op latency, labeled by op."""
+    from repro.obs import Observability, use_obs
+
+    obs = Observability(metrics=True)
+    with use_obs(obs):
+        rt = build_runtime(4.0)
+        proxy = rt.run(rt.client_connect("home"))
+        result = rt.run(stream_session(proxy, StreamConfig(n_frames=40, seed=3)))
+    assert not result.errors
+    hists = obs.metrics.snapshot()["histograms"]
+    request = hists["smock.request_sim_ms{op=play}"]
+    workload = hists["workload.op_sim_ms{op=play,service=video}"]
+    assert request["count"] == 40
+    assert workload["count"] == 40
+    assert "p999" in request and "p999" in workload
+    assert workload["p50"] >= request["p50"] > 0.0
+
+
 def test_replays_are_cache_hits_when_cache_deployed():
     rt = build_runtime(4.0)
     proxy = rt.run(rt.client_connect("home"))

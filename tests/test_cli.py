@@ -66,3 +66,25 @@ def test_validate_rejects_garbage(tmp_path, capsys):
     path.write_text("<Component>\nName: X\n")
     assert main(["validate", str(path)]) == 1
     assert "INVALID" in capsys.readouterr().err
+
+
+def test_mail_slo_report_and_flight(tmp_path, capsys):
+    report_path = tmp_path / "out" / "slo.json"
+    flight_path = tmp_path / "out" / "flight.jsonl"
+    assert main([
+        "mail", "--clients-per-site", "1", "--sends", "10", "--receives", "2",
+        "--slo", "default", "--slo-report", str(report_path),
+        "--flight", str(flight_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "SLO report [mail-default]:" in out
+    assert "send_mail" in out and "p999_ms" in out
+
+    import json
+
+    report = json.loads(report_path.read_text())
+    assert report["spec"] == "mail-default"
+    assert any(row["windows"] > 0 for row in report["rows"])
+    lines = flight_path.read_text().splitlines()
+    assert json.loads(lines[0])["kind"] == "meta"
+    assert any(json.loads(ln)["kind"] == "sample" for ln in lines[1:])
