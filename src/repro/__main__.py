@@ -325,7 +325,8 @@ def cmd_mail(args: argparse.Namespace) -> int:
             log.info(f"[slo] report -> {args.slo_report}")
     if flight is not None:
         written = flight.dump_jsonl(args.flight)
-        log.info(f"[flight] {written} records -> {args.flight}")
+        dropped = f" (+{flight.dropped} dropped)" if flight.dropped else ""
+        log.info(f"[flight] {written} records{dropped} -> {args.flight}")
     log.info(f"simulated time: {runtime.sim.now:.1f} ms")
     return 0
 
@@ -354,6 +355,10 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
         versioned_coherence=not args.no_versioned_coherence,
         telemetry_interval_ms=telemetry_interval,
         slo=args.slo,
+        load_rate_per_s=args.load_rate,
+        load_arrival=args.load_arrival,
+        load_users=args.load_users,
+        overload_protection=args.overload_protection,
     )
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     log.info(
@@ -362,42 +367,63 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
         f"{config.versioned_coherence}"
     )
     failures = []
+    crashed: list = []
+    slo_failures: list = []
     slo_reports: dict = {}
     log.info(f"{'seed':>6}  {'ok':2}  {'acked':>5}  {'retries':>7}  "
-             f"{'recovered':>9}  {'degraded':>8}  {'dup-rej':>7}  faults")
+             f"{'recovered':>9}  {'degraded':>8}  {'dup-rej':>7}  "
+             f"{'dropped':>7}  faults")
     for seed in seeds:
-        result = run_chaos_case(seed, config)
-        if args.check_determinism:
-            rerun = run_chaos_case(seed, config)
-            if rerun.signature != result.signature:
-                result.violations.append(
-                    f"determinism: two runs of seed {seed} diverged "
-                    f"({result.signature[:12]} vs {rerun.signature[:12]})"
-                )
+        # One seed blowing up (a harness bug, not an invariant miss)
+        # must not take the rest of the sweep down with it: contain it,
+        # report it, keep sweeping, and still exit non-zero.
+        try:
+            result = run_chaos_case(seed, config)
+            if args.check_determinism:
+                rerun = run_chaos_case(seed, config)
+                if rerun.signature != result.signature:
+                    result.violations.append(
+                        f"determinism: two runs of seed {seed} diverged "
+                        f"({result.signature[:12]} vs {rerun.signature[:12]})"
+                    )
+        except Exception as exc:  # noqa: BLE001 - containment is the point
+            log.error(f"{seed:>6}  !!  case crashed: {exc!r}")
+            crashed.append((seed, repr(exc)))
+            continue
         ok = "ok" if result.ok else "NO"
         kinds = ",".join(sorted({line.split(":", 1)[0] for line in result.plan}))
+        dropped = str(result.flight_dropped) if result.flight is not None else "-"
         log.info(
             f"{seed:>6}  {ok:2}  {result.acked_sends:>5}  "
             f"{result.stats['retries']:>7}  "
             f"{result.stats['recovered_updates']:>9}  "
             f"{result.stats['degraded_reads'] + result.stats['degraded_writes']:>8}  "
-            f"{result.stats['duplicates_rejected']:>7}  {kinds}"
+            f"{result.stats['duplicates_rejected']:>7}  "
+            f"{dropped:>7}  {kinds}"
         )
         for violation in result.violations:
             log.error(f"        {violation}")
         if result.slo_report is not None and not result.slo_report["passed"]:
             missed = sum(1 for row in result.slo_report["rows"] if not row["ok"])
             log.info(f"        slo: {missed} objective(s) violated")
+            slo_failures.append(seed)
         if result.slo_report is not None:
             slo_reports[str(seed)] = result.slo_report
         if not result.ok:
             failures.append(result)
 
     log.info(
-        f"chaos-sweep: {len(seeds) - len(failures)}/{len(seeds)} seeds passed "
-        f"every invariant"
+        f"chaos-sweep: {len(seeds) - len(failures) - len(crashed)}/{len(seeds)} "
+        f"seeds passed every invariant"
     )
-    if args.artifacts and (failures or slo_reports):
+    if crashed:
+        log.error(f"chaos-sweep: {len(crashed)} seed(s) crashed the harness")
+    if slo_failures and args.fail_on_slo:
+        log.error(
+            f"chaos-sweep: SLO violated on seed(s) {slo_failures} "
+            f"(--fail-on-slo)"
+        )
+    if args.artifacts and (failures or crashed or slo_reports):
         os.makedirs(args.artifacts, exist_ok=True)
         for result in failures:
             path = os.path.join(args.artifacts, f"seed-{result.seed}.json")
@@ -410,6 +436,7 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
                         "signature": result.signature,
                         "stats": result.stats,
                         "workload_errors": result.workload_errors,
+                        "flight_dropped": result.flight_dropped,
                     },
                     fh,
                     indent=2,
@@ -426,10 +453,106 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
         if slo_reports:
             with open(os.path.join(args.artifacts, "slo-reports.json"), "w") as fh:
                 _json.dump(slo_reports, fh, indent=2)
+        if crashed:
+            with open(os.path.join(args.artifacts, "crashed-seeds.json"), "w") as fh:
+                _json.dump(
+                    [{"seed": s, "error": e} for s, e in crashed], fh, indent=2
+                )
         if failures:
             log.info(f"chaos-sweep: wrote {len(failures)} failure artifacts "
                      f"(+ flight recordings) to {args.artifacts}")
-    return 1 if failures else 0
+    if failures or crashed:
+        return 1
+    if slo_failures and args.fail_on_slo:
+        return 1
+    return 0
+
+
+def cmd_load_sweep(args: argparse.Namespace) -> int:
+    """Open-loop load harness: either a Poisson rate sweep (goodput
+    curves per protection mode, knee detection) or — without ``--rates``
+    — the headline flash-crowd pair (same seeded trace, protection off
+    vs on, plus a steady reference cell defining peak goodput)."""
+    import json as _json
+
+    from .load import LoadConfig, run_flash_crowd_pair, run_load_sweep
+    from .smock import RetryPolicy
+
+    config = LoadConfig(
+        duration_ms=args.duration,
+        drain_ms=args.drain,
+        n_users=args.users,
+        zipf_s=args.zipf,
+        seed=args.seed,
+    )
+    retry = RetryPolicy(timeout_ms=2000.0, max_retries=args.max_retries)
+
+    if args.rates:
+        modes = {"off": (False,), "on": (True,), "both": (False, True)}[args.modes]
+        sweep = run_load_sweep(
+            args.rates, modes=modes, config=config, slo=args.slo,
+            retry_policy=retry,
+        )
+        log.info(f"load-sweep: {len(args.rates)} rates x {len(modes)} mode(s)")
+        for line in sweep.render().splitlines():
+            log.info(line)
+        for mode in modes:
+            knee = sweep.knee(mode)
+            label = "protected" if mode else "unprotected"
+            log.info(f"load-sweep: {label} knee ~ {knee} req/s")
+        artifact = {"kind": "load-sweep", **sweep.as_dict()}
+        protected_cells = sweep.curve(True)
+        slo_ok = all(c.slo_passed for c in protected_cells) if protected_cells else False
+    else:
+        pair = run_flash_crowd_pair(
+            base_rate_per_s=args.base_rate,
+            peak_rate_per_s=args.peak_rate,
+            at_ms=args.flash_at,
+            ramp_ms=args.ramp,
+            hold_ms=args.hold,
+            decay_ms=args.decay,
+            reference_rate_per_s=args.reference_rate or None,
+            config=config,
+            slo=args.slo,
+            retry_policy=retry,
+        )
+        cells = [("reference", pair.reference), ("unprotected", pair.unprotected),
+                 ("protected", pair.protected)]
+        for name, cell in cells:
+            if cell is None:
+                continue
+            slo = "-" if cell.slo_passed is None else (
+                "PASS" if cell.slo_passed else "FAIL")
+            log.info(
+                f"load-sweep[{name}]: offered={cell.offered} ok={cell.ok} "
+                f"goodput={cell.goodput_per_s:.1f}/s "
+                f"timely={cell.timely_goodput_per_s:.1f}/s "
+                f"avail={cell.availability:.3f} p50={cell.p50_ms:.0f}ms "
+                f"p99={cell.p99_ms:.0f}ms slo={slo}"
+            )
+        if pair.peak_goodput_per_s:
+            log.info(
+                f"load-sweep: peak goodput {pair.peak_goodput_per_s:.1f}/s; "
+                f"retention unprotected "
+                f"{pair.unprotected_retention:.1%} vs protected "
+                f"{pair.protected_retention:.1%}"
+            )
+        artifact = {"kind": "flash-crowd-pair", **pair.as_dict()}
+        slo_ok = pair.protected.slo_passed is True
+
+    if args.output:
+        import os
+
+        parent = os.path.dirname(args.output)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.output, "w") as fh:
+            _json.dump(artifact, fh, indent=2)
+        log.info(f"load-sweep: wrote goodput artifact to {args.output}")
+    if args.fail_on_slo and not slo_ok:
+        log.error("load-sweep: protected run failed the SLO (--fail-on-slo)")
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -618,7 +741,69 @@ def main(argv=None) -> int:
     p.add_argument("--slo", metavar="SPEC", default=None,
                    help='SLO spec evaluated per seed ("default" or a '
                         "YAML/JSON spec file)")
+    p.add_argument("--fail-on-slo", action="store_true",
+                   help="exit non-zero when any seed violates the --slo "
+                        "spec (CI gating), not just on invariant failures")
+    p.add_argument("--load-rate", type=float, default=None, metavar="PER_S",
+                   help="run open-loop background load at this base rate "
+                        "under every case (load x fault composite)")
+    p.add_argument("--load-arrival", choices=["poisson", "flash"],
+                   default="poisson",
+                   help="background-load arrival shape (flash peaks at 4x "
+                        "the base rate mid-horizon)")
+    p.add_argument("--load-users", type=int, default=1_000,
+                   help="simulated-user roster size for background load")
+    p.add_argument("--overload-protection", action="store_true",
+                   help="enable admission control / token buckets / circuit "
+                        "breakers for the composite runs")
     p.set_defaults(fn=cmd_chaos_sweep)
+
+    p = sub.add_parser(
+        "load-sweep",
+        help="open-loop load curves and the flash-crowd pair",
+        parents=[obs_parser],
+    )
+    p.add_argument("--rates", type=float, nargs="*", default=None,
+                   metavar="RATE",
+                   help="offered rates (req/s) for a Poisson sweep; "
+                        "omit to run the flash-crowd pair instead")
+    p.add_argument("--modes", choices=["off", "on", "both"], default="both",
+                   help="overload-protection modes to sweep (default both)")
+    p.add_argument("--duration", type=float, default=30_000.0,
+                   help="offered-load window per cell (sim ms)")
+    p.add_argument("--drain", type=float, default=60_000.0,
+                   help="extra sim time for in-flight requests to finish")
+    p.add_argument("--users", type=int, default=10_000,
+                   help="simulated-user roster size (Zipf-skewed draws)")
+    p.add_argument("--zipf", type=float, default=1.1,
+                   help="Zipf exponent for the hot-user skew")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-retries", type=int, default=4,
+                   help="client retry budget per request")
+    p.add_argument("--base-rate", type=float, default=70.0,
+                   help="flash-crowd base offered rate (req/s)")
+    p.add_argument("--peak-rate", type=float, default=600.0,
+                   help="flash-crowd peak offered rate (req/s)")
+    p.add_argument("--flash-at", type=float, default=5_000.0,
+                   help="flash onset (sim ms into the window)")
+    p.add_argument("--ramp", type=float, default=2_000.0,
+                   help="flash ramp-up time (sim ms)")
+    p.add_argument("--hold", type=float, default=12_000.0,
+                   help="flash hold time at peak (sim ms)")
+    p.add_argument("--decay", type=float, default=3_000.0,
+                   help="flash decay time back to base (sim ms)")
+    p.add_argument("--reference-rate", type=float, default=100.0,
+                   help="steady pre-knee rate defining peak goodput "
+                        "(flash-crowd mode; 0 skips the reference cell)")
+    p.add_argument("--slo", metavar="SPEC", default=None,
+                   help='grade every cell against an SLO spec ("default" '
+                        "or a YAML/JSON spec file)")
+    p.add_argument("--fail-on-slo", action="store_true",
+                   help="exit non-zero unless the protected run passes "
+                        "the --slo spec (CI gating)")
+    p.add_argument("--output", metavar="PATH", default=None,
+                   help="write the goodput-curve JSON artifact to PATH")
+    p.set_defaults(fn=cmd_load_sweep)
 
     args = parser.parse_args(argv)
     configure_logging(level=args.log_level, json_output=args.log_json)

@@ -68,6 +68,20 @@ class ChaosCaseConfig:
     #: SLO spec evaluated after the run: "default", a spec-file path,
     #: or an inline mapping (see repro.obs.slo); None skips evaluation
     slo: Optional[Any] = None
+    #: load x fault composite: offered open-loop background rate
+    #: (req/s) over the fault horizon, multiplexed over the scripted
+    #: clients' proxies; None keeps the case byte-identical to the
+    #: load-free harness
+    load_rate_per_s: Optional[float] = None
+    #: arrival shape of the background load ("poisson" or "flash":
+    #: a flash crowd peaking at 4x the base rate mid-horizon)
+    load_arrival: str = "poisson"
+    #: simulated-user roster size for the background load
+    load_users: int = 1_000
+    #: overload-protection knob passed through to the runtime (False /
+    #: True / OverloadConfig); independent of load_rate_per_s so the
+    #: composite can run both protected and unprotected
+    overload_protection: Any = False
 
 
 @dataclass
@@ -89,13 +103,21 @@ class ChaosCaseResult:
     flight_dropped: int = 0
     #: evaluated SLO report (dict form), populated when config.slo is set
     slo_report: Optional[Dict[str, Any]] = None
+    #: background-load outcome counters, populated when
+    #: config.load_rate_per_s is set (load x fault composite)
+    load: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return self.finished and not self.violations
 
 
-def _signature(runtime: Any, results: List[Any], violations: List[str]) -> str:
+def _signature(
+    runtime: Any,
+    results: List[Any],
+    violations: List[str],
+    load: Optional[Dict[str, Any]] = None,
+) -> str:
     """Hash every externally observable outcome of the run.
 
     Message ids are process-global (a fresh run in the same process
@@ -136,6 +158,10 @@ def _signature(runtime: Any, results: List[Any], violations: List[str]) -> str:
         ],
         "violations": violations,
     }
+    if load is not None:
+        # Only composites carry this key, so load-free signatures stay
+        # comparable with historical ones.
+        payload["load"] = load
     blob = json.dumps(payload, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()
 
@@ -191,6 +217,7 @@ def run_chaos_case(
             versioned_coherence=config.versioned_coherence,
             telemetry_interval_ms=config.telemetry_interval_ms,
             flight=flight,
+            overload_protection=config.overload_protection,
         )
         runtime = testbed.runtime
         replanner = runtime.enable_self_healing(
@@ -243,6 +270,44 @@ def run_chaos_case(
                 mail_workload(proxy, cfg), name=f"chaos-wl:{user}"
             ))
 
+        # Load x fault composite: pump seeded open-loop background load
+        # over the same proxies for the whole fault horizon.  Off by
+        # default (None), so plain chaos cases stay byte-identical.
+        load_driver = None
+        if config.load_rate_per_s is not None:
+            from ..load import LoadConfig, OpenLoopDriver
+            from ..services.mail.workload import open_loop_mail_ops
+            from ..sim.arrivals import FlashCrowdProcess, PoissonProcess
+
+            rate = config.load_rate_per_s
+            if config.load_arrival == "flash":
+                arrival = FlashCrowdProcess(
+                    rate, 4.0 * rate,
+                    at_ms=t0 + config.horizon_ms / 3.0,
+                    ramp_ms=2_000.0,
+                    hold_ms=config.horizon_ms / 6.0,
+                    decay_ms=3_000.0,
+                    seed=seed,
+                )
+            elif config.load_arrival == "poisson":
+                arrival = PoissonProcess(rate, seed=seed)
+            else:
+                raise ValueError(
+                    f"unknown load_arrival {config.load_arrival!r}"
+                )
+            load_driver = OpenLoopDriver(
+                [proxy for _s, _u, proxy in proxies],
+                arrival,
+                LoadConfig(
+                    duration_ms=config.horizon_ms,
+                    drain_ms=config.grace_ms,
+                    n_users=config.load_users,
+                    seed=seed,
+                ),
+                open_loop_mail_ops(),
+            )
+            load_driver.start()
+
         # The detector/monitor loops never drain the event list: run in
         # slices.  Always advance past the whole fault horizon plus a
         # settle period (every heal/restart fires, detection and the
@@ -253,7 +318,7 @@ def run_chaos_case(
         while runtime.sim.now < deadline:
             if runtime.sim.now >= quiesce_at and all(
                 p.triggered for p in procs
-            ):
+            ) and (load_driver is None or load_driver.drained):
                 break
             runtime.sim.run(until=min(runtime.sim.now + 5_000.0, deadline))
         runtime.failure_detector.stop()
@@ -267,6 +332,14 @@ def run_chaos_case(
         acked = attempted - sum(
             1 for e in errors if e.startswith("send[")
         ) - config.n_sends * (len(procs) - len(results))
+
+        # Background-load sends also land in the primary store: widen
+        # the durability bounds by what the load offered (upper) and
+        # what it got acked (lower).
+        if load_driver is not None:
+            lr = load_driver.result
+            attempted += lr.ops_offered.get("send_mail", 0)
+            acked += lr.ops_ok.get("send_mail", 0)
 
         violations = [] if not finished else check_all(
             runtime, replanner, acked, attempted
@@ -296,11 +369,25 @@ def run_chaos_case(
             ).to_dict()
 
         st = runtime.coherence.stats
+        load_summary = None
+        if load_driver is not None:
+            lr = load_driver.result
+            load_summary = {
+                "offered": lr.offered,
+                "completed": lr.completed,
+                "ok": lr.ok,
+                "timely": lr.timely,
+                "failed": lr.failed,
+                "unfinished": load_driver._inflight,
+                "errors": dict(sorted(lr.errors.items())),
+                "goodput_per_s": lr.goodput_per_s,
+                "availability": lr.availability,
+            }
         return ChaosCaseResult(
             seed=seed,
             plan=plan.describe(),
             violations=violations,
-            signature=_signature(runtime, results, violations),
+            signature=_signature(runtime, results, violations, load=load_summary),
             workload_errors=errors,
             acked_sends=acked,
             attempted_sends=attempted,
@@ -318,6 +405,7 @@ def run_chaos_case(
             flight=flight.records() if flight is not None else None,
             flight_dropped=flight.dropped if flight is not None else 0,
             slo_report=slo_report,
+            load=load_summary,
         )
 
 

@@ -33,12 +33,23 @@ __all__ = [
 
 
 def _store_messages(store: Any) -> Dict[str, Set[int]]:
-    """user -> msg_ids held anywhere in that user's folders."""
+    """user -> msg_ids held in that user's folders, minus ``sent``.
+
+    The sent copy is sender-side bookkeeping filed only where the
+    sender already has an account (``MailStore.store``), so whether a
+    given store holds one is order-dependent — a replica that created
+    the sender's account first legitimately holds a sent copy the
+    primary lacks.  Delivery convergence is about the recipient-facing
+    folders.
+    """
     held: Dict[str, Set[int]] = {}
     for user in store.users():
         box = store.mailbox(user)
         held[user] = {
-            msg.msg_id for folder in box.folders.values() for msg in folder
+            msg.msg_id
+            for name, folder in box.folders.items()
+            if name != "sent"
+            for msg in folder
         }
     return held
 

@@ -10,7 +10,7 @@ paper's measurements begin.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Optional
 
 from ..coherence import AttributeConflictMap, FlushPolicy, NeverPolicy, policy_from_name
 from ..smock import SmockRuntime
@@ -42,6 +42,7 @@ class MailTestbed:
 
 def build_mail_testbed(
     clients_per_site: int = 5,
+    node_cpu: Optional[float] = None,
     flush_policy: str = "never",
     algorithm: str = "dp_chain",
     planning_work: float = 2000.0,
@@ -56,6 +57,7 @@ def build_mail_testbed(
     telemetry_interval_ms: Optional[float] = None,
     flight=None,
     obs=None,
+    overload_protection: Any = False,
 ) -> MailTestbed:
     """The standard case-study testbed.
 
@@ -82,9 +84,19 @@ def build_mail_testbed(
     :class:`SmockRuntime`'s continuous-telemetry knobs (``None`` = no
     sampler at all, ``0`` = constructed but disabled, ``> 0`` = sample
     every that-many simulated ms into ``runtime.sampler``).
+
+    ``overload_protection`` passes through to :class:`SmockRuntime`:
+    ``False`` (default) constructs nothing, ``True`` enables admission
+    control / throttling / circuit breaking with default
+    :class:`~repro.smock.OverloadConfig`, or pass a config instance.
     """
     spec = build_mail_spec()
-    topo = build_fig5_network(clients_per_site=clients_per_site)
+    if node_cpu is None:
+        topo = build_fig5_network(clients_per_site=clients_per_site)
+    else:
+        # Scaled-down node capacity (the load harness shrinks the
+        # bottleneck so saturation cells stay event-count tractable).
+        topo = build_fig5_network(clients_per_site=clients_per_site, node_cpu=node_cpu)
 
     def view_policy(view, instance) -> FlushPolicy:
         return policy_from_name(flush_policy)
@@ -110,6 +122,7 @@ def build_mail_testbed(
         telemetry_interval_ms=telemetry_interval_ms,
         flight=flight,
         obs=obs,
+        overload_protection=overload_protection,
     )
     runtime.service_state["mail_users"] = tuple(users)
     for name, cls in MAIL_COMPONENT_CLASSES.items():

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..load.roster import generate_roster
 from ..planner import DeploymentPlan, Placement, PlannedLinkage
 from ..services.mail import DEFAULT_USERS, WorkloadConfig, mail_workload
 from ..smock import ServiceProxy
@@ -131,10 +132,10 @@ def _static_plan_for_client(
 
 def _workload_users(n_clients: int) -> List[str]:
     """One user name per client: the paper's five, then generated names
-    (the scale benchmarks run 25/50/100 clients)."""
-    users = list(DEFAULT_USERS)[:n_clients]
-    users += [f"User{i:03d}" for i in range(len(users), n_clients)]
-    return users
+    (the scale benchmarks run 25/50/100 clients).  Delegates to the
+    shared roster generator so scripted clients and open-loop load draw
+    from one namespace (:mod:`repro.load.roster`)."""
+    return generate_roster(n_clients)
 
 
 def _bind_clients(

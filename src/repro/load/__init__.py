@@ -1,0 +1,39 @@
+"""Seeded open-loop load generation (see ARCHITECTURE.md "load harness").
+
+Arrival processes live in the sim kernel (:mod:`repro.sim.arrivals`);
+this package turns their arrival instants into service requests: a
+roster of simulated users (:func:`generate_roster`), hot-user skew
+(:class:`ZipfSampler`), an :class:`OpenLoopDriver` that multiplexes
+10k–100k users over a handful of bound proxies as sim processes, and a
+sweep harness (:func:`run_load_cell` / :func:`run_load_sweep` /
+:func:`run_flash_crowd_pair`) producing latency/goodput-vs-offered-load
+curves graded by the SLO engine.
+"""
+
+from .driver import LoadConfig, LoadResult, OpenLoopDriver
+from .roster import generate_roster
+from .sweep import (
+    FlashCrowdPair,
+    LoadCellResult,
+    LoadSweepResult,
+    find_knee,
+    run_flash_crowd_pair,
+    run_load_cell,
+    run_load_sweep,
+)
+from .zipf import ZipfSampler
+
+__all__ = [
+    "generate_roster",
+    "ZipfSampler",
+    "LoadConfig",
+    "LoadResult",
+    "OpenLoopDriver",
+    "FlashCrowdPair",
+    "LoadCellResult",
+    "LoadSweepResult",
+    "run_load_cell",
+    "run_load_sweep",
+    "run_flash_crowd_pair",
+    "find_knee",
+]

@@ -13,7 +13,13 @@ from .crypto import CIPHER_OVERHEAD_BYTES, CryptoError, KeyRing, decrypt, derive
 from .mailstore import Mailbox, MailStore, MailStoreError, StoredMessage
 from .spec import DEFAULT_USERS, MAIL_SPEC_TEXT, build_mail_spec
 from .translator import mail_translator
-from .workload import WorkloadConfig, WorkloadResult, mail_workload, run_clients
+from .workload import (
+    WorkloadConfig,
+    WorkloadResult,
+    mail_workload,
+    open_loop_mail_ops,
+    run_clients,
+)
 
 __all__ = [
     "build_mail_spec",
@@ -40,5 +46,6 @@ __all__ = [
     "WorkloadConfig",
     "WorkloadResult",
     "mail_workload",
+    "open_loop_mail_ops",
     "run_clients",
 ]

@@ -51,6 +51,20 @@ SYNC_TIMEOUT_MS = 30_000.0
 
 _MSG_ENVELOPE_BYTES = 96
 
+#: rosters up to this size get the historical full contact graph; the
+#: open-loop load harness provisions 10k–100k generated accounts, where
+#: the everyone-knows-everyone O(n^2) tuples would dominate setup
+_FULL_CONTACTS_MAX_ROSTER = 128
+
+
+def _contacts_for(roster: Tuple[str, ...], i: int) -> Tuple[str, ...]:
+    """Contact list for ``roster[i]``: everyone else when the roster is
+    small, otherwise a wrapping window of the next 128 names."""
+    n = len(roster)
+    if n <= _FULL_CONTACTS_MAX_ROSTER + 1:
+        return tuple(u for j, u in enumerate(roster) if j != i)
+    return tuple(roster[(i + k) % n] for k in range(1, _FULL_CONTACTS_MAX_ROSTER + 1))
+
 
 class _StoreBase(RuntimeComponent):
     """Shared mail-store behavior of MailServer and ViewMailServer."""
@@ -89,9 +103,9 @@ class _StoreBase(RuntimeComponent):
         user starts with the rest of the roster as contacts.
         """
         roster = tuple(self.runtime.service_state.get("mail_users", ()))
-        for user in roster:
+        for i, user in enumerate(roster):
             if not self.store.has_account(user):
-                self.provision_account(user, tuple(u for u in roster if u != user))
+                self.provision_account(user, _contacts_for(roster, i))
 
     # -- account management (service setup, not timed) ------------------------
     def provision_account(self, user: str, contacts: Tuple[str, ...] = ()) -> None:

@@ -23,7 +23,13 @@ from typing import Any, Generator, List, Optional, Sequence
 from ...sim.resources import Monitor
 from ...smock import ServiceProxy
 
-__all__ = ["WorkloadConfig", "WorkloadResult", "mail_workload", "run_clients"]
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadResult",
+    "mail_workload",
+    "open_loop_mail_ops",
+    "run_clients",
+]
 
 
 @dataclass
@@ -120,6 +126,42 @@ def mail_workload(
             result.errors.append(f"receive[{i}]: {resp.error}")
 
     return result
+
+
+def open_loop_mail_ops(
+    send_fraction: float = 0.7,
+    body_bytes: int = 64,
+    max_sensitivity: int = 3,
+    cluster_size: int = 1,
+):
+    """Op factory for the open-loop load driver (:mod:`repro.load`).
+
+    Each arrival becomes one send (probability ``send_fraction``) or one
+    fetch, shaped exactly like :func:`mail_workload`'s requests — the
+    arriving user is the sender/reader, the recipient is drawn uniformly
+    from the roster (hot-*user* skew already comes from the driver's
+    Zipf draw over arriving users).  The body is constant so the
+    memoized crypto path behaves as in steady state; the simulated CPU
+    charge per request is unaffected.
+    """
+    if not 0.0 <= send_fraction <= 1.0:
+        raise ValueError(f"send_fraction must be in [0, 1], got {send_fraction}")
+    body = "x" * body_bytes
+
+    def ops(rng: random.Random, user: str, roster: Sequence[str]):
+        if rng.random() < send_fraction:
+            recipient = roster[rng.randrange(len(roster))]
+            payload = {
+                "recipient": recipient,
+                "sensitivity": rng.randint(1, max_sensitivity),
+                "body": body,
+                "multiplicity": cluster_size,
+            }
+            return ("send_mail", payload, body_bytes + 128)
+        payload = {"user": user, "max_sensitivity": max_sensitivity}
+        return ("fetch_mail", payload, 256)
+
+    return ops
 
 
 def run_clients(

@@ -34,6 +34,6 @@ __all__ = [
     "COMPRESSED_FRAME_BYTES",
 ]
 
-from .workload import StreamConfig, StreamResult, stream_session
+from .workload import StreamConfig, StreamResult, open_loop_video_ops, stream_session
 
-__all__ += ["StreamConfig", "StreamResult", "stream_session"]
+__all__ += ["StreamConfig", "StreamResult", "open_loop_video_ops", "stream_session"]

@@ -15,7 +15,7 @@ from typing import Any, Generator, List
 from ...sim.resources import Monitor
 from ...smock import ServiceProxy
 
-__all__ = ["StreamConfig", "StreamResult", "stream_session"]
+__all__ = ["StreamConfig", "StreamResult", "open_loop_video_ops", "stream_session"]
 
 
 @dataclass
@@ -111,3 +111,26 @@ def stream_session(
     yield sim.all_of(workers)
     result.finished_ms = sim.now
     return result
+
+
+def open_loop_video_ops(n_titles: int = 100, frames_per_title: int = 1000):
+    """Op factory for the open-loop load driver (:mod:`repro.load`).
+
+    Each arrival pulls one frame of one title — an independent
+    pay-per-frame viewer rather than a pipelined session.  Hot-*title*
+    skew rides on the driver's Zipf user draw: the arriving user's rank
+    in the roster picks the title, so celebrity users map onto celebrity
+    content with the same tail shape.
+    """
+    if n_titles < 1:
+        raise ValueError(f"need n_titles >= 1, got {n_titles}")
+
+    def ops(rng: random.Random, user: str, roster: List[str]):
+        try:
+            title = roster.index(user) % n_titles
+        except ValueError:  # pragma: no cover - roster always contains user
+            title = 0
+        payload = {"content": f"clip{title:03d}", "seq": rng.randrange(frames_per_title)}
+        return ("play", payload, 128)
+
+    return ops

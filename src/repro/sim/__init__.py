@@ -10,6 +10,13 @@ router) with a deterministic, seeded simulator.  Public surface:
 - :class:`SimLink` — latency/bandwidth link with security credential
 """
 
+from .arrivals import (
+    ArrivalProcess,
+    ArrivalStream,
+    DiurnalProcess,
+    FlashCrowdProcess,
+    PoissonProcess,
+)
 from .engine import Simulator
 from .events import (
     AllOf,
@@ -45,4 +52,9 @@ __all__ = [
     "SimLink",
     "transfer_time_ms",
     "LOCALHOST_LINK_ID",
+    "ArrivalProcess",
+    "ArrivalStream",
+    "PoissonProcess",
+    "DiurnalProcess",
+    "FlashCrowdProcess",
 ]

@@ -6,6 +6,13 @@ from .component import ForwardingComponent, RuntimeComponent, ServerStub
 from .deployment import Deployer, DeploymentError, DeploymentRecord
 from .lookup import LookupService, ServiceRegistration
 from .messages import RequestError, ServiceRequest, ServiceResponse
+from .overload import (
+    CircuitBreaker,
+    OverloadConfig,
+    OverloadManager,
+    OverloadStats,
+    TokenBucket,
+)
 from .proxy import BindRecord, GenericProxy, RetryPolicy, ServiceProxy
 from .runtime import SmockRuntime
 from .server import AccessRecord, GenericServer
@@ -34,4 +41,9 @@ __all__ = [
     "DeploymentError",
     "NodeWrapper",
     "RuntimeTransport",
+    "OverloadConfig",
+    "OverloadManager",
+    "OverloadStats",
+    "TokenBucket",
+    "CircuitBreaker",
 ]

@@ -223,6 +223,19 @@ class RuntimeComponent:
         """
         if self.failed or not self.node.up:
             raise NodeDownError(f"{self._label}: host {self.node_name} is down")
+        overload = self.runtime.overload
+        if overload is not None:
+            # Admission control *before* the CPU charge: a shed request
+            # costs the network round trip it already paid, nothing more
+            # (queue-based load leveling — the accept queue, and with it
+            # served latency, stays bounded under any offered load).
+            retry_after = overload.admit(self.node)
+            if retry_after is not None:
+                return ServiceResponse.failure(
+                    f"{self._label}: shed (accept queue full)",
+                    retryable=True,
+                    retry_after_ms=retry_after,
+                )
         sim = self.runtime.sim
         start = sim.now
         req.trace.append(self._label)

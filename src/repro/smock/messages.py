@@ -68,12 +68,22 @@ class ServiceResponse:
     #: infrastructure failure (crash, partition, timeout) as opposed to
     #: an application rejection — only these are worth retrying.
     retryable: bool = False
+    #: backpressure hint: the sender should wait at least this long
+    #: before retrying.  Set by overload protection (admission shed,
+    #: token-bucket throttle, open circuit breaker); ``None`` everywhere
+    #: else.  A set value also marks the response as *backpressure*
+    #: rather than a service failure — circuit breakers ignore it.
+    retry_after_ms: Optional[float] = None
 
     @classmethod
     def failure(
-        cls, message: str, size_bytes: int = 128, retryable: bool = False
+        cls,
+        message: str,
+        size_bytes: int = 128,
+        retryable: bool = False,
+        retry_after_ms: Optional[float] = None,
     ) -> "ServiceResponse":
         return cls(
             payload={}, size_bytes=size_bytes, ok=False, error=message,
-            retryable=retryable,
+            retryable=retryable, retry_after_ms=retry_after_ms,
         )

@@ -54,6 +54,11 @@ class RetryPolicy:
     backoff_cap_ms: float = 2000.0
     jitter: float = 0.5
     seed: int = 0
+    #: respect the server's ``retry_after_ms`` backpressure hint: the
+    #: retry delay becomes at least the hint (plus jitter), so a crowd
+    #: of shed clients spreads out instead of re-converging on the
+    #: still-saturated server at backoff-base speed.
+    honor_retry_after: bool = True
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.seed)
@@ -67,6 +72,22 @@ class RetryPolicy:
         if not self.jitter:
             return base
         return base * (1.0 + self.jitter * self._rng.random())
+
+    def retry_delay_ms(self, attempt: int, retry_after_ms: Optional[float]) -> float:
+        """Backoff for ``attempt``, floored by a Retry-After hint.
+
+        The hint gets its own jitter draw — a thousand clients shed in
+        the same millisecond must not all return exactly
+        ``retry_after_ms`` later.  Runs without backpressure hints never
+        reach the extra draw, so their RNG streams are unchanged.
+        """
+        delay = self.backoff_ms(attempt)
+        if self.honor_retry_after and retry_after_ms:
+            floor = retry_after_ms
+            if self.jitter:
+                floor *= 1.0 + self.jitter * self._rng.random()
+            delay = max(delay, floor)
+        return delay
 
 
 @dataclass
@@ -110,16 +131,28 @@ class ServiceProxy:
         self.latency = Monitor(f"proxy:{client_node}")
         self.retries = 0
         self.timeouts = 0
+        self.throttled = 0
+        # Overload protection, resolved once at bind time: the breaker
+        # is per proxy, the token bucket is shared per client node, and
+        # both stay None (zero hot-path work beyond this attribute)
+        # unless the runtime was built with overload_protection on.
+        overload = getattr(runtime, "overload", None)
+        self._breaker = overload.breaker() if overload is not None else None
+        self._bucket = (
+            overload.bucket(client_node) if overload is not None else None
+        )
         # Fast-path eligibility, resolved once at bind time: with tracing
-        # and metrics off and no retry policy, request() skips span and
-        # registry plumbing entirely.  Tracer/metrics enablement is fixed
-        # for an Observability bundle's lifetime, so this cannot go stale;
-        # retry_policy is re-checked per request (tests swap it in place).
+        # and metrics off, no retry policy, and no overload protection,
+        # request() skips span and registry plumbing entirely.
+        # Tracer/metrics enablement is fixed for an Observability
+        # bundle's lifetime, so this cannot go stale; retry_policy is
+        # re-checked per request (tests swap it in place).
         obs = runtime.obs
         self._fast = (
             getattr(runtime, "proxy_fast_path", True)
             and not obs.tracer.enabled
             and not obs.metrics.enabled
+            and overload is None
         )
         #: per-op histogram handles, resolved on first use (the
         #: engine.Simulator pattern) — only populated when metrics are on.
@@ -143,8 +176,15 @@ class ServiceProxy:
         payload: Optional[Dict[str, Any]] = None,
         size_bytes: int = 512,
         response_is_error: bool = False,
+        user: Optional[str] = None,
     ) -> Generator[Any, Any, ServiceResponse]:
-        """Process generator: one service operation, end to end."""
+        """Process generator: one service operation, end to end.
+
+        ``user`` overrides the bind-time identity for this one request —
+        open-loop load drivers multiplex many simulated users over one
+        bound proxy (binding 100k proxies would swamp the planner, and a
+        real frontend pools connections the same way).
+        """
         sim = self.runtime.sim
         if self._fast and self.retry_policy is None:
             # Same events in the same order as below — the span is a
@@ -153,7 +193,7 @@ class ServiceProxy:
             start = sim.now
             req = ServiceRequest(
                 op=op, payload=dict(payload or {}), size_bytes=size_bytes,
-                user=self.user,
+                user=user if user is not None else self.user,
             )
             resp = yield from self._stub.request(req)
             self.latency.observe(sim.now - start)
@@ -164,12 +204,15 @@ class ServiceProxy:
             "request", op=op, client_node=self.client_node
         )
         req = ServiceRequest(
-            op=op, payload=dict(payload or {}), size_bytes=size_bytes, user=self.user
+            op=op, payload=dict(payload or {}), size_bytes=size_bytes,
+            user=user if user is not None else self.user,
         )
-        if self.retry_policy is None:
-            resp = yield from self._stub.request(req)
-        else:
+        if self.retry_policy is not None:
             resp = yield from self._robust_request(req)
+        elif self._breaker is not None or self._bucket is not None:
+            resp = yield from self._guarded_request(req)
+        else:
+            resp = yield from self._stub.request(req)
         elapsed = sim.now - start
         self.latency.observe(elapsed)
         span.finish(status=None if resp.ok else "error")
@@ -188,6 +231,64 @@ class ServiceProxy:
                 metrics.inc("smock.request_errors", op=op)
         return resp
 
+    def _local_reject(self, req: ServiceRequest) -> Optional[ServiceResponse]:
+        """Token-bucket + circuit-breaker gate, applied per attempt.
+
+        Returns a fast local failure (no wire traffic, no simulated
+        time) when this attempt may not be sent: the client node's
+        bucket is empty — initial sends and retries alike draw a token,
+        so a retry storm can never offer more than the bucket rate — or
+        this proxy's breaker is open.  None admits the attempt.
+        """
+        sim = self.runtime.sim
+        bucket = self._bucket
+        if bucket is not None and not bucket.try_take(sim.now):
+            self.throttled += 1
+            self.runtime.overload.note_throttled(self.client_node)
+            return ServiceResponse.failure(
+                f"throttled: {self.client_node} token bucket empty",
+                retryable=True,
+                retry_after_ms=bucket.wait_ms(sim.now),
+            )
+        breaker = self._breaker
+        if breaker is not None:
+            allowed, retry_after = breaker.allow(sim.now)
+            if not allowed:
+                self.runtime.overload.note_fast_fail(self.client_node)
+                return ServiceResponse.failure(
+                    f"circuit open: {self.client_node} -> {req.op} fast-failed",
+                    retryable=True,
+                    retry_after_ms=retry_after,
+                )
+        return None
+
+    def _record_outcome(self, resp: ServiceResponse) -> None:
+        """Feed the breaker one finished attempt.
+
+        Backpressure responses (``retry_after_ms`` set: sheds and
+        throttles) and non-retryable application rejections are *not*
+        breaker failures — only infrastructure errors and timeouts
+        count, per the error/timeout-rate tripping rule.
+        """
+        if self._breaker is not None:
+            failed = (
+                not resp.ok
+                and resp.retryable
+                and resp.retry_after_ms is None
+            )
+            self._breaker.record(self.runtime.sim.now, not failed)
+
+    def _guarded_request(
+        self, req: ServiceRequest
+    ) -> Generator[Any, Any, ServiceResponse]:
+        """Single-attempt path with overload protection, no retry policy."""
+        reject = self._local_reject(req)
+        if reject is not None:
+            return reject
+        resp = yield from self._stub.request(req)
+        self._record_outcome(resp)
+        return resp
+
     def _robust_request(
         self, req: ServiceRequest
     ) -> Generator[Any, Any, ServiceResponse]:
@@ -198,6 +299,11 @@ class ServiceProxy:
         running but nobody reads the value).  All attempts share one
         idempotency key, so a retry that follows a
         response-lost-after-apply cannot double-apply.
+
+        With overload protection on, every attempt (including the
+        first) must clear the client token bucket and circuit breaker
+        first; rejected attempts cost no wire traffic, and retry delays
+        honor the server's Retry-After backpressure hints.
         """
         policy = self.retry_policy
         sim = self.runtime.sim
@@ -206,45 +312,54 @@ class ServiceProxy:
         attempts = policy.max_retries + 1
         resp: ServiceResponse = ServiceResponse.failure("unattempted")
         for attempt in range(1, attempts + 1):
-            # Fresh request object per attempt: the stub mutates trace
-            # and a re-sent message is a new message on the wire.
-            attempt_req = ServiceRequest(
-                op=req.op,
-                payload=dict(req.payload),
-                size_bytes=req.size_bytes,
-                user=req.user,
-                trace=req.trace,
-                idempotency_key=req.idempotency_key,
-            )
-            rpc = sim.process(
-                self._stub.request(attempt_req),
-                name=f"rpc:{self.client_node}:{req.op}:{attempt}",
-            )
-            timeout = sim.timeout(policy.timeout_ms)
-            # If the rpc process fails outright (a genuine bug — fault
-            # errors are converted to failure responses in the stub),
-            # the any_of fails and re-raises here.  A timed-out attempt
-            # is simply abandoned: it may still complete, but nobody
-            # reads its value.
-            yield sim.any_of([rpc, timeout])
-            if rpc.triggered:
-                resp = rpc.value
-                if resp.ok or not resp.retryable:
-                    if attempt > 1:
-                        metrics.inc(
-                            "smock.retries", attempt - 1, op=req.op,
-                            outcome="ok" if resp.ok else "failed",
-                        )
-                    return resp
+            reject = self._local_reject(req)
+            if reject is not None:
+                resp = reject
             else:
-                self.timeouts += 1
-                metrics.inc("smock.request_timeouts", op=req.op)
-                resp = ServiceResponse.failure(
-                    f"timeout after {policy.timeout_ms:.0f}ms", retryable=True
+                # Fresh request object per attempt: the stub mutates trace
+                # and a re-sent message is a new message on the wire.
+                attempt_req = ServiceRequest(
+                    op=req.op,
+                    payload=dict(req.payload),
+                    size_bytes=req.size_bytes,
+                    user=req.user,
+                    trace=req.trace,
+                    idempotency_key=req.idempotency_key,
                 )
+                rpc = sim.process(
+                    self._stub.request(attempt_req),
+                    name=f"rpc:{self.client_node}:{req.op}:{attempt}",
+                )
+                timeout = sim.timeout(policy.timeout_ms)
+                # If the rpc process fails outright (a genuine bug — fault
+                # errors are converted to failure responses in the stub),
+                # the any_of fails and re-raises here.  A timed-out attempt
+                # is simply abandoned: it may still complete, but nobody
+                # reads its value.
+                yield sim.any_of([rpc, timeout])
+                if rpc.triggered:
+                    resp = rpc.value
+                    self._record_outcome(resp)
+                    if resp.ok or not resp.retryable:
+                        if attempt > 1:
+                            metrics.inc(
+                                "smock.retries", attempt - 1, op=req.op,
+                                outcome="ok" if resp.ok else "failed",
+                            )
+                        return resp
+                else:
+                    self.timeouts += 1
+                    metrics.inc("smock.request_timeouts", op=req.op)
+                    if self._breaker is not None:
+                        self._breaker.record(sim.now, False)
+                    resp = ServiceResponse.failure(
+                        f"timeout after {policy.timeout_ms:.0f}ms", retryable=True
+                    )
             if attempt < attempts:
                 self.retries += 1
-                yield sim.timeout(policy.backoff_ms(attempt))
+                yield sim.timeout(
+                    policy.retry_delay_ms(attempt, resp.retry_after_ms)
+                )
         metrics.inc(
             "smock.retries", attempts - 1, op=req.op, outcome="exhausted"
         )

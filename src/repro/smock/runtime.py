@@ -82,6 +82,7 @@ class SmockRuntime:
         telemetry_interval_ms: Optional[float] = None,
         telemetry_capacity: int = 720,
         flight: Any = None,
+        overload_protection: Any = False,
     ) -> None:
         self.network = network
         self.obs = resolve_obs(obs)
@@ -100,6 +101,24 @@ class SmockRuntime:
         #: stamps, no frontier dedup, no degraded mode, no anti-entropy.
         self.versioned_coherence = versioned_coherence
         self.sim = sim or Simulator(obs=self.obs, fast_path=fast_path)
+        #: overload protection (see smock.overload): ``False``/``None``
+        #: constructs nothing — every hot path guards on
+        #: ``runtime.overload is None`` and stays byte-identical to a
+        #: runtime predating the feature; ``True`` uses the default
+        #: :class:`~repro.smock.overload.OverloadConfig`; an
+        #: ``OverloadConfig`` instance tunes the stack.
+        self.overload = None
+        if overload_protection:
+            from .overload import OverloadConfig, OverloadManager
+
+            config = (
+                overload_protection
+                if isinstance(overload_protection, OverloadConfig)
+                else None
+            )
+            self.overload = OverloadManager(
+                self.sim, config, metrics=self.obs.metrics
+            )
         if self.obs.tracer.enabled:
             # An externally-supplied simulator may carry a different (or
             # null) obs; bind our tracer to whichever clock we ended up

@@ -1,0 +1,158 @@
+"""Overload-protection knob discipline and the flash-crowd headline.
+
+Three promises pinned here:
+
+* ``overload_protection=True`` under light load is *bit-identical* to
+  the unprotected run — the gates (lazy token buckets, lazy breaker
+  windows, queue-depth admission reads) consume no events and no
+  simulated time unless they actually fire;
+* same seed + same knobs => same cell signature, for both modes of the
+  flash-crowd scenario (the determinism pin for BENCH_load cells);
+* the headline physics: past saturation an unprotected cell's goodput
+  collapses, while the protected cell holds >= 80% of the pre-knee
+  reference goodput with bounded p99.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.mail_setup import build_mail_testbed
+from repro.experiments.scenarios_fig7 import SCENARIOS, _bind_clients
+from repro.experiments.topology_fig5 import SITE_TRUST
+from repro.load import LoadConfig, run_flash_crowd_pair, run_load_cell
+from repro.services.mail import WorkloadConfig, mail_workload
+from repro.sim import FlashCrowdProcess, PoissonProcess
+
+N_CLIENTS = 3
+N_SENDS = 40
+
+
+def _run_mail_scenario(**testbed_kwargs):
+    """The DS500 closed-loop scenario, returning a full signature
+    (mirrors test_fast_path_determinism's pin, here for the overload
+    knob: a closed-loop run far below capacity must not feel it)."""
+    scenario = SCENARIOS["DS500"]
+    testbed = build_mail_testbed(
+        flush_policy=scenario.flush_policy, **testbed_kwargs
+    )
+    runtime = testbed.runtime
+    proxies = _bind_clients(testbed, scenario, N_CLIENTS)
+    users = [p.user for p in proxies]
+    site_trust = SITE_TRUST[scenario.site]
+    procs = []
+    for i, proxy in enumerate(proxies):
+        cfg = WorkloadConfig(
+            user=users[i],
+            peers=[u for u in users if u != users[i]] or [users[i]],
+            n_sends=N_SENDS,
+            n_receives=5,
+            max_sensitivity=site_trust,
+            seed=i,
+        )
+        procs.append(
+            runtime.sim.process(mail_workload(proxy, cfg), name=f"wl:{users[i]}")
+        )
+    runtime.sim.run()
+    for proc in procs:
+        assert not proc.failed, proc.value
+    transport = runtime.transport
+    return {
+        "now": runtime.sim.now,
+        "events": runtime.sim._seq,
+        "send_latencies": tuple(
+            tuple(p.value.send_latency.samples) for p in procs
+        ),
+        "errors": tuple(tuple(p.value.errors) for p in procs),
+        "messages_sent": transport.messages_sent,
+        "bytes_sent": transport.bytes_sent,
+    }
+
+
+def _physical_fields(cell):
+    """Every observable a protection gate could perturb (the signature
+    itself differs across modes only in the overload snapshot)."""
+    return (
+        cell.sim_ms, cell.events, cell.offered, cell.completed, cell.ok,
+        cell.timely, cell.failed, cell.unfinished, sorted(cell.errors.items()),
+        cell.p50_ms, cell.p99_ms, cell.p999_ms,
+        cell.retries, cell.timeouts, cell.throttled,
+    )
+
+
+LIGHT = LoadConfig(duration_ms=5_000.0, drain_ms=15_000.0, n_users=500, seed=31)
+
+
+class TestKnobDiscipline:
+    def test_closed_loop_scenario_identical_with_protection_on(self):
+        reference = _run_mail_scenario()
+        protected = _run_mail_scenario(overload_protection=True)
+        assert protected == reference
+
+    def test_light_open_loop_cell_identical_with_protection_on(self):
+        off = run_load_cell(PoissonProcess(30.0, seed=31), config=LIGHT)
+        on = run_load_cell(
+            PoissonProcess(30.0, seed=31), config=LIGHT, protection=True
+        )
+        assert _physical_fields(on) == _physical_fields(off)
+        # ... and the gates never fired, which is why it was free
+        assert on.throttled == 0
+        assert on.overload["shed"] == 0
+        assert on.overload["breaker_fast_fails"] == 0
+        assert off.overload is None
+
+
+def _flash(seed):
+    return FlashCrowdProcess(
+        40.0, 300.0, at_ms=2_000.0, ramp_ms=1_000.0, hold_ms=4_000.0,
+        decay_ms=1_000.0, seed=seed,
+    )
+
+
+FLASH_CFG = dict(duration_ms=8_000.0, drain_ms=30_000.0, n_users=500)
+
+
+class TestFlashDeterminism:
+    @pytest.mark.parametrize("protection", [False, True])
+    def test_same_seed_same_signature(self, protection):
+        cfg = LoadConfig(seed=37, **FLASH_CFG)
+        a = run_load_cell(_flash(37), config=cfg, protection=protection)
+        b = run_load_cell(_flash(37), config=cfg, protection=protection)
+        assert a.signature == b.signature
+        assert a.events == b.events
+        assert a.sim_ms == b.sim_ms
+
+    def test_modes_diverge_past_saturation(self):
+        cfg = LoadConfig(seed=37, **FLASH_CFG)
+        off = run_load_cell(_flash(37), config=cfg, protection=False)
+        on = run_load_cell(_flash(37), config=cfg, protection=True)
+        assert on.signature != off.signature
+
+
+class TestFlashCrowdHeadline:
+    def test_protected_holds_unprotected_collapses(self):
+        """The PR's headline cell, at sub-headline scale for test time:
+        a ~4x-over-knee flash for four seconds."""
+        pair = run_flash_crowd_pair(
+            base_rate_per_s=70.0,
+            peak_rate_per_s=500.0,
+            at_ms=2_000.0,
+            ramp_ms=1_000.0,
+            hold_ms=7_000.0,
+            decay_ms=1_000.0,
+            reference_rate_per_s=100.0,
+            config=LoadConfig(duration_ms=12_000.0, drain_ms=40_000.0,
+                              n_users=2_000, seed=43),
+        )
+        assert pair.reference is not None
+        # the reference cell runs below the knee: everything completes
+        assert pair.reference.availability == 1.0
+        # unprotected: goodput collapses past saturation
+        assert pair.unprotected_retention < 0.5
+        # protected: >= 80% of pre-knee peak goodput, bounded p99
+        assert pair.protected_retention >= 0.8
+        assert pair.protected.goodput_per_s > 2.0 * pair.unprotected.goodput_per_s
+        assert pair.protected.p99_ms < 60_000.0  # default mail SLO p99
+        # the protection actually did something
+        snap = pair.protected.overload
+        assert snap["shed"] + snap["throttled"] + snap["breaker_fast_fails"] > 0

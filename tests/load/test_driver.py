@@ -1,0 +1,108 @@
+"""Roster and open-loop driver / load-cell behavior (small cells)."""
+
+import pytest
+
+from repro.load import (
+    LoadConfig,
+    generate_roster,
+    run_load_cell,
+    run_load_sweep,
+)
+from repro.services.mail.spec import DEFAULT_USERS
+from repro.sim import PoissonProcess
+
+
+class TestRoster:
+    def test_small_prefix_is_the_paper_roster(self):
+        assert tuple(generate_roster(5)) == DEFAULT_USERS
+        assert generate_roster(3) == list(DEFAULT_USERS)[:3]
+
+    def test_generated_names_extend(self):
+        roster = generate_roster(1_000)
+        assert len(roster) == 1_000
+        assert roster[:5] == list(DEFAULT_USERS)
+        assert roster[5] == "User005"
+        assert roster[999] == "User999"
+        assert len(set(roster)) == 1_000
+
+    def test_validation(self):
+        assert generate_roster(0) == []
+        with pytest.raises(ValueError):
+            generate_roster(-1)
+
+
+class TestLoadCell:
+    CONFIG = LoadConfig(
+        duration_ms=5_000.0, drain_ms=15_000.0, n_users=500, seed=21
+    )
+
+    def test_light_cell_all_ok(self):
+        cell = run_load_cell(
+            PoissonProcess(30.0, seed=21), config=self.CONFIG
+        )
+        assert cell.offered > 0
+        assert cell.completed == cell.offered
+        assert cell.failed == 0
+        assert cell.unfinished == 0
+        assert cell.ok == cell.offered
+        assert cell.availability == 1.0
+        assert cell.goodput_per_s == pytest.approx(
+            cell.ok / 5.0
+        )
+        assert cell.p50_ms > 0
+        assert cell.overload is None  # protection off -> nothing built
+
+    def test_same_seed_same_signature(self):
+        a = run_load_cell(PoissonProcess(30.0, seed=21), config=self.CONFIG)
+        b = run_load_cell(PoissonProcess(30.0, seed=21), config=self.CONFIG)
+        assert a.signature == b.signature
+        assert a.events == b.events
+        assert a.sim_ms == b.sim_ms
+
+    def test_different_seed_different_signature(self):
+        a = run_load_cell(PoissonProcess(30.0, seed=21), config=self.CONFIG)
+        cfg = LoadConfig(
+            duration_ms=5_000.0, drain_ms=15_000.0, n_users=500, seed=22
+        )
+        b = run_load_cell(PoissonProcess(30.0, seed=22), config=cfg)
+        assert a.signature != b.signature
+
+    def test_protection_reports_overload_state(self):
+        cell = run_load_cell(
+            PoissonProcess(30.0, seed=21), config=self.CONFIG, protection=True
+        )
+        assert cell.protection is True
+        assert cell.overload is not None
+        assert set(cell.overload) >= {"shed", "throttled", "breaker_fast_fails"}
+
+    def test_slo_grading(self):
+        cell = run_load_cell(
+            PoissonProcess(30.0, seed=21), config=self.CONFIG, slo="default"
+        )
+        assert cell.slo_passed is True
+        assert cell.slo_report is not None
+        assert cell.slo_report["passed"] is True
+
+    def test_as_dict_round_trips_to_json(self):
+        import json
+
+        cell = run_load_cell(PoissonProcess(10.0, seed=1), config=self.CONFIG)
+        blob = json.dumps(cell.as_dict())
+        assert "signature" in blob
+
+
+class TestSweep:
+    def test_sweep_shapes_and_knee(self):
+        cfg = LoadConfig(
+            duration_ms=4_000.0, drain_ms=10_000.0, n_users=200, seed=2
+        )
+        sweep = run_load_sweep([20.0, 60.0], modes=(False,), config=cfg)
+        assert len(sweep.cells) == 2
+        assert [c.offered_rate_per_s for c in sweep.cells] == [20.0, 60.0]
+        assert all(c.protection is False for c in sweep.cells)
+        # both rates are under the knee, so goodput tracks offered load
+        # and the knee lands on the smallest rate within 95% of max
+        knee = sweep.knee(False)
+        assert knee == 60.0
+        assert sweep.as_dict()["knee"]["unprotected"] == knee
+        assert sweep.render()

@@ -1,0 +1,234 @@
+"""Retry-storm behavior: backoff shape, bucket-bounded retries, dedupe.
+
+The three failure modes a flash crowd amplifies:
+
+* clients hammering a saturated server at backoff-base speed — covered
+  by the :class:`RetryPolicy` delay-shape tests (exponential growth,
+  jitter bounds, Retry-After floors);
+* retries multiplying offered load past the token-bucket budget — the
+  wire-attempt accounting test pins attempts minus local rejects to the
+  bucket's rate * duration + burst envelope;
+* shed-then-retried sends double-applying at the store — the dedupe
+  test asserts one stored message per acked send even when retries and
+  sheds both happened.
+"""
+
+import pytest
+
+from repro.load import LoadConfig, OpenLoopDriver
+from repro.obs import Observability, use_obs
+from repro.services.mail.spec import DEFAULT_USERS
+from repro.services.mail.workload import open_loop_mail_ops
+from repro.sim import FlashCrowdProcess, PoissonProcess
+from repro.smock import OverloadConfig, RetryPolicy
+
+
+class TestBackoffShape:
+    def test_exponential_growth_without_jitter(self):
+        p = RetryPolicy(
+            backoff_base_ms=50.0, backoff_factor=2.0, backoff_cap_ms=2_000.0,
+            jitter=0.0,
+        )
+        assert [p.backoff_ms(a) for a in range(1, 6)] == [
+            50.0, 100.0, 200.0, 400.0, 800.0
+        ]
+
+    def test_backoff_caps(self):
+        p = RetryPolicy(
+            backoff_base_ms=50.0, backoff_factor=2.0, backoff_cap_ms=300.0,
+            jitter=0.0,
+        )
+        assert p.backoff_ms(10) == 300.0
+
+    def test_jitter_bounds(self):
+        p = RetryPolicy(backoff_base_ms=100.0, jitter=0.5, seed=3)
+        for attempt in range(1, 5):
+            base = min(
+                100.0 * (p.backoff_factor ** (attempt - 1)), p.backoff_cap_ms
+            )
+            for _ in range(20):
+                d = p.backoff_ms(attempt)
+                assert base <= d <= base * 1.5
+
+    def test_jitter_is_seeded(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        assert [a.backoff_ms(1) for _ in range(10)] == [
+            b.backoff_ms(1) for _ in range(10)
+        ]
+
+    def test_retry_after_floors_the_delay(self):
+        """A saturated server's hint dominates a small early backoff,
+        with the hint's own jitter spreading the re-converging crowd."""
+        p = RetryPolicy(backoff_base_ms=10.0, jitter=0.5, seed=1)
+        for _ in range(50):
+            d = p.retry_delay_ms(1, retry_after_ms=500.0)
+            assert 500.0 <= d <= 500.0 * 1.5
+
+    def test_large_backoff_beats_small_hint(self):
+        p = RetryPolicy(backoff_base_ms=1_000.0, jitter=0.0)
+        assert p.retry_delay_ms(1, retry_after_ms=50.0) == 1_000.0
+
+    def test_hint_ignored_when_disabled(self):
+        p = RetryPolicy(backoff_base_ms=10.0, jitter=0.0, honor_retry_after=False)
+        assert p.retry_delay_ms(1, retry_after_ms=10_000.0) == 10.0
+
+    def test_no_hint_means_pure_backoff(self):
+        p = RetryPolicy(backoff_base_ms=25.0, jitter=0.0)
+        assert p.retry_delay_ms(2, None) == 50.0
+
+
+def _run_cell(arrival, config, protection, retry_policy):
+    """Small load cell that keeps runtime internals for inspection.
+
+    Mirrors run_load_cell but returns (runtime, proxies, result) so the
+    tests below can read the overload manager and the mail store.
+    """
+    from repro.experiments.mail_setup import build_mail_testbed
+
+    obs = Observability(tracing=False, metrics=True)
+    with use_obs(obs):
+        testbed = build_mail_testbed(
+            clients_per_site=3,
+            node_cpu=100.0,
+            flush_policy="never",
+            users=DEFAULT_USERS,
+            overload_protection=protection,
+        )
+        runtime = testbed.runtime
+        proxies = []
+        for i, node in enumerate(testbed.client_nodes("sandiego")[:3]):
+            user = DEFAULT_USERS[i % len(DEFAULT_USERS)]
+            proxy = runtime.run(
+                runtime.client_connect(node, {"User": user}), f"connect:{user}"
+            )
+            proxy.retry_policy = RetryPolicy(
+                timeout_ms=retry_policy.timeout_ms,
+                max_retries=retry_policy.max_retries,
+                backoff_base_ms=retry_policy.backoff_base_ms,
+                jitter=retry_policy.jitter,
+                seed=config.seed + i,
+            )
+            proxies.append(proxy)
+        driver = OpenLoopDriver(proxies, arrival, config, open_loop_mail_ops())
+        result = driver.run()
+    return runtime, proxies, result
+
+
+class TestBucketBoundsRetries:
+    def test_wire_attempts_capped_by_bucket_budget(self):
+        """Initial sends and retries alike draw tokens, so the traffic
+        that actually reaches the wire can never exceed the bucket's
+        refill budget no matter how hard the retry storm pushes."""
+        rate, burst, duration_s = 20.0, 10.0, 10.0
+        protection = OverloadConfig(
+            bucket_rate_per_s=rate, bucket_burst=burst, breaker=False
+        )
+        config = LoadConfig(
+            duration_ms=duration_s * 1_000.0, drain_ms=20_000.0,
+            n_users=500, seed=5,
+        )
+        runtime, proxies, result = _run_cell(
+            # offered ~120/s across 3 client nodes: far above the
+            # 20/s-per-node budget, so the buckets must bite
+            PoissonProcess(120.0, seed=5),
+            config,
+            protection,
+            RetryPolicy(timeout_ms=2_000.0, max_retries=4),
+        )
+        stats = runtime.overload.stats
+        assert stats.throttled > 0  # the storm actually hit the gate
+        attempts = result.offered + sum(p.retries for p in proxies)
+        local_rejects = stats.throttled + stats.breaker_fast_fails
+        wire = attempts - local_rejects
+        n_nodes = len({p.client_node for p in proxies})
+        # Refill keeps flowing while retry chains drain past the offered
+        # window; bound by the full simulated span, not just duration.
+        span_s = runtime.sim.now / 1_000.0
+        budget = n_nodes * (burst + rate * span_s)
+        assert wire <= budget + n_nodes  # +1 in-flight token per node
+
+    def test_throttled_attempts_cost_no_simulated_work(self):
+        """A throttled attempt is a local fast-fail: proxies report
+        throttles but the server-side shed counter stays untouched."""
+        protection = OverloadConfig(
+            bucket_rate_per_s=5.0, bucket_burst=2.0, breaker=False,
+            admission=False,
+        )
+        config = LoadConfig(
+            duration_ms=5_000.0, drain_ms=10_000.0, n_users=200, seed=9
+        )
+        runtime, proxies, result = _run_cell(
+            PoissonProcess(60.0, seed=9), config, protection,
+            RetryPolicy(timeout_ms=2_000.0, max_retries=2),
+        )
+        stats = runtime.overload.stats
+        assert stats.throttled > 0
+        assert stats.shed == 0
+        assert sum(p.throttled for p in proxies) == stats.throttled
+
+
+class TestShedThenRetryDedupe:
+    def test_acked_sends_store_exactly_once(self):
+        """Shed-then-retried sends reuse one idempotency key, so the
+        primary stores each acked send exactly once even though the
+        flash crowd forced retries and sheds along the way."""
+        protection = OverloadConfig(max_queue=8, bucket_rate_per_s=60.0)
+        config = LoadConfig(
+            duration_ms=10_000.0, drain_ms=30_000.0, n_users=500, seed=13
+        )
+        runtime, proxies, result = _run_cell(
+            FlashCrowdProcess(
+                40.0, 300.0, at_ms=2_000.0, ramp_ms=1_000.0,
+                hold_ms=5_000.0, decay_ms=1_000.0, seed=13,
+            ),
+            config,
+            protection,
+            RetryPolicy(timeout_ms=4_000.0, max_retries=6),
+        )
+        # The scenario exercised the machinery it claims to test:
+        retries = sum(p.retries for p in proxies)
+        assert retries > 0
+        assert runtime.overload.stats.shed + runtime.overload.stats.throttled > 0
+        # Zero timeouts => every ok response was a real server ack (an
+        # abandoned attempt could otherwise store without an ack, which
+        # is the at-least-once slack, not a dedupe failure).
+        assert sum(p.timeouts for p in proxies) == 0
+        ok_sends = result.ops_ok.get("send_mail", 0)
+        assert ok_sends > 0
+        # flush_policy="never" means no batches propagate copies, so
+        # each send lives at exactly one store (the accepting replica,
+        # or the primary for above-trust forwards): the system-wide
+        # store count equals acked sends iff dedupe worked.
+        stored = sum(
+            inst.store.messages_stored
+            for inst in runtime.instances.values()
+            if getattr(inst, "store", None) is not None
+        )
+        assert stored == ok_sends
+
+    def test_dedupe_holds_deterministically(self):
+        """Same seed, same storm, same store count — the dedupe path is
+        on the deterministic hot path, not a best-effort cache."""
+        protection = OverloadConfig(max_queue=8)
+        counts = []
+        for _ in range(2):
+            config = LoadConfig(
+                duration_ms=6_000.0, drain_ms=20_000.0, n_users=300, seed=17
+            )
+            runtime, proxies, result = _run_cell(
+                FlashCrowdProcess(
+                    40.0, 250.0, at_ms=1_500.0, ramp_ms=500.0,
+                    hold_ms=3_000.0, decay_ms=1_000.0, seed=17,
+                ),
+                config,
+                protection,
+                RetryPolicy(timeout_ms=4_000.0, max_retries=5),
+            )
+            stored = sum(
+                inst.store.messages_stored
+                for inst in runtime.instances.values()
+                if getattr(inst, "store", None) is not None
+            )
+            counts.append((stored, result.ok, runtime.sim.now))
+        assert counts[0] == counts[1]
