@@ -100,7 +100,11 @@ def cmd_chains(args: argparse.Namespace) -> int:
 def cmd_validate(args: argparse.Namespace) -> int:
     from .spec import SpecError, from_xml, parse_service
 
-    text = open(args.file).read()
+    try:
+        text = open(args.file).read()
+    except OSError as exc:
+        log.error(f"INVALID: cannot read {args.file}: {exc.strerror or exc}")
+        return 1
     try:
         if text.lstrip().startswith("<Service") and 'name="' in text[:200]:
             spec = from_xml(text)
@@ -156,7 +160,8 @@ def cmd_mail(args: argparse.Namespace) -> int:
 
     fast = not args.no_fast_path
     crypto.configure_cache(fast)
-    # --slo / --flight need the sampler; default its interval on demand.
+    # --slo / --flight need the sampler; default its interval on demand
+    # (--autonomic defaults it inside the runtime itself).
     telemetry_interval = args.telemetry_interval
     if telemetry_interval is None and (args.slo or args.flight):
         telemetry_interval = 500.0
@@ -178,6 +183,7 @@ def cmd_mail(args: argparse.Namespace) -> int:
         versioned_coherence=not args.no_versioned_coherence,
         telemetry_interval_ms=telemetry_interval,
         flight=flight,
+        autonomic=args.autonomic,
     )
     runtime = testbed.runtime
     sites = args.sites
@@ -218,6 +224,12 @@ def cmd_mail(args: argparse.Namespace) -> int:
                 seed=args.seed,
             )
             replanner.track_access(proxy, runtime.generic_server.accesses[-1])
+        elif runtime.autonomic is not None:
+            # Scale rounds need the binding registered; the chaos path
+            # above already did so via the shared replanner.
+            runtime.autonomic.track_access(
+                proxy, runtime.generic_server.accesses[-1]
+            )
         proxies.append((site, user, proxy))
 
     peers = [user for _s, user, _p in proxies]
@@ -283,6 +295,27 @@ def cmd_mail(args: argparse.Namespace) -> int:
         f"coherence: {stats.local_updates} local updates, {stats.syncs} flushes, "
         f"{stats.invalidations} invalidations, {stats.stale_reads} stale reads"
     )
+    manager = runtime.autonomic
+    if manager is not None:
+        installed = sum(len(e.installed) for e in manager.events)
+        retired = sum(len(e.retired) for e in manager.events)
+        log.info(
+            f"autonomic: {len(manager.events)} action(s) "
+            f"({manager.suppressed} signals suppressed), "
+            f"{installed} replica(s) installed, {retired} retired, "
+            f"views {manager._baseline_views or manager._view_count()} -> "
+            f"{manager._view_count()} (peak {manager.views_peak})"
+        )
+        for event in manager.events:
+            detail = ""
+            if event.installed or event.retired:
+                detail = (
+                    f" (+{len(event.installed)}/-{len(event.retired)} instances)"
+                )
+            log.info(
+                f"  {event.time_ms:8.0f} ms  {event.action:9s} "
+                f"rule={event.rule} {event.series}={event.value:.3g}{detail}"
+            )
     if replanner is not None:
         detector = runtime.failure_detector
         rounds = [e for e in replanner.events if not e.deferred]
@@ -359,6 +392,7 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
         load_arrival=args.load_arrival,
         load_users=args.load_users,
         overload_protection=args.overload_protection,
+        autonomic=args.autonomic,
     )
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     log.info(
@@ -472,7 +506,10 @@ def cmd_load_sweep(args: argparse.Namespace) -> int:
     """Open-loop load harness: either a Poisson rate sweep (goodput
     curves per protection mode, knee detection) or — without ``--rates``
     — the headline flash-crowd pair (same seeded trace, protection off
-    vs on, plus a steady reference cell defining peak goodput)."""
+    vs on, plus a steady reference cell defining peak goodput).  With
+    ``--autonomic`` the pair gains a fourth cell running the closed
+    telemetry -> replanning loop; ``--fail-on-slo`` then gates on that
+    cell's SLO report instead of the protected one's."""
     import json as _json
 
     from .load import LoadConfig, run_flash_crowd_pair, run_load_sweep
@@ -486,12 +523,17 @@ def cmd_load_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     retry = RetryPolicy(timeout_ms=2000.0, max_retries=args.max_retries)
+    flight = None
+    if args.flight and not args.rates:
+        from .obs import FlightRecorder
+
+        flight = FlightRecorder()
 
     if args.rates:
         modes = {"off": (False,), "on": (True,), "both": (False, True)}[args.modes]
         sweep = run_load_sweep(
             args.rates, modes=modes, config=config, slo=args.slo,
-            retry_policy=retry,
+            retry_policy=retry, autonomic=args.autonomic,
         )
         log.info(f"load-sweep: {len(args.rates)} rates x {len(modes)} mode(s)")
         for line in sweep.render().splitlines():
@@ -515,9 +557,11 @@ def cmd_load_sweep(args: argparse.Namespace) -> int:
             config=config,
             slo=args.slo,
             retry_policy=retry,
+            autonomic=args.autonomic,
+            flight=flight,
         )
         cells = [("reference", pair.reference), ("unprotected", pair.unprotected),
-                 ("protected", pair.protected)]
+                 ("protected", pair.protected), ("autonomic", pair.autonomic)]
         for name, cell in cells:
             if cell is None:
                 continue
@@ -531,26 +575,61 @@ def cmd_load_sweep(args: argparse.Namespace) -> int:
                 f"p99={cell.p99_ms:.0f}ms slo={slo}"
             )
         if pair.peak_goodput_per_s:
-            log.info(
+            retention = (
                 f"load-sweep: peak goodput {pair.peak_goodput_per_s:.1f}/s; "
                 f"retention unprotected "
                 f"{pair.unprotected_retention:.1%} vs protected "
                 f"{pair.protected_retention:.1%}"
             )
+            if pair.autonomic_retention is not None:
+                retention += f" vs autonomic {pair.autonomic_retention:.1%}"
+            log.info(retention)
+        summary = pair.autonomic.autonomic if pair.autonomic else None
+        if summary is not None:
+            log.info(
+                f"load-sweep[autonomic]: scale-out at "
+                f"{summary['scale_out_at_ms']:.0f} ms, "
+                f"{summary['installed']} installed / {summary['retired']} "
+                f"retired, views {summary['views_baseline']} -> "
+                f"{summary['views_peak']} -> {summary['views_final']}, "
+                f"p99 recovered in {summary['p99_windows_to_recover']} "
+                f"window(s), {summary['lost_updates']} lost updates"
+            )
         artifact = {"kind": "flash-crowd-pair", **pair.as_dict()}
-        slo_ok = pair.protected.slo_passed is True
+        # --autonomic makes the autonomic cell the headline: gate on it.
+        gate_cell = pair.autonomic if pair.autonomic is not None else pair.protected
+        slo_ok = gate_cell.slo_passed is True
+
+    import os
 
     if args.output:
-        import os
-
         parent = os.path.dirname(args.output)
         if parent:
             os.makedirs(parent, exist_ok=True)
         with open(args.output, "w") as fh:
             _json.dump(artifact, fh, indent=2)
         log.info(f"load-sweep: wrote goodput artifact to {args.output}")
+    if args.slo_report and not args.rates:
+        parent = os.path.dirname(args.slo_report)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        reports = {
+            name: cell.slo_report
+            for name, cell in cells
+            if cell is not None and cell.slo_report is not None
+        }
+        with open(args.slo_report, "w") as fh:
+            _json.dump(reports, fh, indent=2)
+        log.info(f"load-sweep: wrote SLO report(s) to {args.slo_report}")
+    if flight is not None and args.flight:
+        parent = os.path.dirname(args.flight)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        written = flight.dump_jsonl(args.flight)
+        dropped = f" (+{flight.dropped} dropped)" if flight.dropped else ""
+        log.info(f"load-sweep: {written} flight records{dropped} -> {args.flight}")
     if args.fail_on_slo and not slo_ok:
-        log.error("load-sweep: protected run failed the SLO (--fail-on-slo)")
+        log.error("load-sweep: gated run failed the SLO (--fail-on-slo)")
         return 1
     return 0
 
@@ -688,11 +767,18 @@ def main(argv=None) -> int:
                        help="retry budget per request; size it to outlive "
                             "the longest outage in the fault plan")
     tele = p.add_argument_group("telemetry / SLO")
+    tele.add_argument("--autonomic", action="store_true",
+                      help="close the telemetry -> replanning loop: sustained "
+                           "threshold breaches (hot nodes, deep queues, slow "
+                           "p99) trigger scale-out replanning at measured "
+                           "rates, scale-in consolidates afterwards (implies "
+                           "a 500 ms telemetry sampler)")
     tele.add_argument("--telemetry-interval", type=float, default=None,
                       metavar="MS",
                       help="sample queue depths, utilizations and windowed "
                            "percentiles every MS simulated ms "
-                           "(default: off; implied 500 by --slo/--flight)")
+                           "(default: off; implied 500 by --slo/--flight/"
+                           "--autonomic)")
     tele.add_argument("--slo", metavar="SPEC", default=None,
                       help='evaluate an SLO spec after the run: "default", '
                            "a YAML/JSON spec file, or an inline JSON object "
@@ -756,6 +842,10 @@ def main(argv=None) -> int:
     p.add_argument("--overload-protection", action="store_true",
                    help="enable admission control / token buckets / circuit "
                         "breakers for the composite runs")
+    p.add_argument("--autonomic", action="store_true",
+                   help="close the telemetry -> replanning loop per case "
+                        "(load x fault x scale composite when combined with "
+                        "--load-rate; implies a 500 ms telemetry sampler)")
     p.set_defaults(fn=cmd_chaos_sweep)
 
     p = sub.add_parser(
@@ -795,12 +885,25 @@ def main(argv=None) -> int:
     p.add_argument("--reference-rate", type=float, default=100.0,
                    help="steady pre-knee rate defining peak goodput "
                         "(flash-crowd mode; 0 skips the reference cell)")
+    p.add_argument("--autonomic", action="store_true",
+                   help="close the telemetry -> replanning loop: in "
+                        "flash-crowd mode adds a fourth cell (protection + "
+                        "autonomic scale-out/scale-in); in --rates mode "
+                        "every cell runs with the loop closed")
     p.add_argument("--slo", metavar="SPEC", default=None,
-                   help='grade every cell against an SLO spec ("default" '
-                        "or a YAML/JSON spec file)")
+                   help='grade every cell against an SLO spec ("default", '
+                        "a YAML/JSON spec file, or an inline JSON object)")
     p.add_argument("--fail-on-slo", action="store_true",
-                   help="exit non-zero unless the protected run passes "
-                        "the --slo spec (CI gating)")
+                   help="exit non-zero unless the gated run (autonomic cell "
+                        "with --autonomic, else protected) passes the --slo "
+                        "spec (CI gating)")
+    p.add_argument("--slo-report", metavar="PATH", default=None,
+                   help="flash-crowd mode: write the per-cell SLO reports "
+                        "as JSON to PATH")
+    p.add_argument("--flight", metavar="PATH", default=None,
+                   help="flash-crowd mode: dump the autonomic cell's "
+                        "flight-recorder ring (telemetry samples + scale "
+                        "decisions) as JSONL to PATH")
     p.add_argument("--output", metavar="PATH", default=None,
                    help="write the goodput-curve JSON artifact to PATH")
     p.set_defaults(fn=cmd_load_sweep)

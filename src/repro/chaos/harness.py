@@ -82,6 +82,13 @@ class ChaosCaseConfig:
     #: True / OverloadConfig); independent of load_rate_per_s so the
     #: composite can run both protected and unprotected
     overload_protection: Any = False
+    #: autonomic-loop knob passed through to the runtime (False / True /
+    #: AutonomicConfig / kwargs dict).  The manager shares the harness's
+    #: self-healing replanner, so scale rounds and failover rounds
+    #: interleave through one machinery; pair with load_rate_per_s for a
+    #: load x fault x scale composite.  False keeps cases byte-identical
+    #: to the autonomic-less harness.
+    autonomic: Any = False
 
 
 @dataclass
@@ -218,6 +225,7 @@ def run_chaos_case(
             telemetry_interval_ms=config.telemetry_interval_ms,
             flight=flight,
             overload_protection=config.overload_protection,
+            autonomic=config.autonomic,
         )
         runtime = testbed.runtime
         replanner = runtime.enable_self_healing(
@@ -401,6 +409,19 @@ def run_chaos_case(
                 "degraded_writes": st.degraded_writes,
                 "reconcile_conflicts": st.reconcile_conflicts,
                 "retries": sum(p.retries for _s, _u, p in proxies),
+                **(
+                    {
+                        "autonomic_actions": len(runtime.autonomic.events),
+                        "autonomic_installed": sum(
+                            len(e.installed) for e in runtime.autonomic.events
+                        ),
+                        "autonomic_retired": sum(
+                            len(e.retired) for e in runtime.autonomic.events
+                        ),
+                    }
+                    if runtime.autonomic is not None
+                    else {}
+                ),
             },
             flight=flight.records() if flight is not None else None,
             flight_dropped=flight.dropped if flight is not None else 0,

@@ -58,6 +58,7 @@ def build_mail_testbed(
     flight=None,
     obs=None,
     overload_protection: Any = False,
+    autonomic: Any = False,
 ) -> MailTestbed:
     """The standard case-study testbed.
 
@@ -89,6 +90,13 @@ def build_mail_testbed(
     ``False`` (default) constructs nothing, ``True`` enables admission
     control / throttling / circuit breaking with default
     :class:`~repro.smock.OverloadConfig`, or pass a config instance.
+
+    ``autonomic`` passes through to :class:`SmockRuntime`: ``False``
+    (default) constructs nothing, ``True`` closes the telemetry →
+    replanning loop (see :mod:`repro.autonomic`) with default
+    :class:`~repro.autonomic.AutonomicConfig` — defaulting the sampler
+    to 500 ms when ``telemetry_interval_ms`` is unset — or pass a
+    config instance / kwargs dict.
     """
     spec = build_mail_spec()
     if node_cpu is None:
@@ -123,6 +131,7 @@ def build_mail_testbed(
         flight=flight,
         obs=obs,
         overload_protection=overload_protection,
+        autonomic=autonomic,
     )
     runtime.service_state["mail_users"] = tuple(users)
     for name, cls in MAIL_COMPONENT_CLASSES.items():

@@ -14,6 +14,13 @@ The default cell shrinks node CPU by 10x (``node_cpu=100``), which puts
 the measured capacity knee near 110 req/s on the default mail mix —
 saturation physics at ~1/10th the event count, keeping sweeps and CI
 smoke runs fast.
+
+Cells can also run with the autonomic loop closed (``autonomic=True``):
+the runtime samples telemetry, detects sustained saturation, and scales
+views out across the site's nodes mid-cell (see :mod:`repro.autonomic`);
+:func:`run_flash_crowd_pair` then adds a fourth cell — protected *and*
+autonomic — whose goodput exceeds the protected-only cell's because
+capacity grows instead of merely shedding the excess.
 """
 
 from __future__ import annotations
@@ -75,8 +82,12 @@ class LoadCellResult:
     slo_passed: Optional[bool]
     slo_report: Optional[Dict[str, Any]]
     signature: str
+    #: autonomic-loop summary (``None`` when the knob is off): actuated
+    #: events, raw signal count, and install/retire totals
+    autonomic: Optional[Dict[str, Any]] = None
 
     def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form of one cell (nested in sweep/pair artifacts)."""
         return {
             "offered_rate_per_s": self.offered_rate_per_s,
             "protection": self.protection,
@@ -105,6 +116,7 @@ class LoadCellResult:
             "slo_passed": self.slo_passed,
             "slo_report": self.slo_report,
             "signature": self.signature,
+            "autonomic": self.autonomic,
         }
 
 
@@ -133,6 +145,39 @@ def _cell_signature(runtime: Any, result: LoadResult, proxies: Sequence[Any]) ->
     return hashlib.sha256(repr(payload).encode()).hexdigest()[:16]
 
 
+def _p99_recovery_windows(
+    runtime: Any, manager: Any, bound_ms: float, sustain: int = 3
+) -> Optional[int]:
+    """Telemetry windows from the first scale-out install until the
+    ``send_mail`` windowed p99 stayed at/under ``bound_ms`` for
+    ``sustain`` consecutive windows (``None`` = never recovered or
+    never scaled out)."""
+    start = next(
+        (
+            e.time_ms
+            for e in manager.events
+            if e.action == "scale_out" and e.installed
+        ),
+        None,
+    )
+    sampler = getattr(runtime, "sampler", None)
+    if start is None or sampler is None:
+        return None
+    series = sampler.series("smock.request_sim_ms.p99", op="send_mail")
+    interval = sampler.interval_ms or 1.0
+    run = 0
+    for t_ms, value in series.samples():
+        if t_ms < start:
+            continue
+        if value <= bound_ms:
+            run += 1
+            if run >= sustain:
+                return max(0, round((t_ms - start) / interval))
+        else:
+            run = 0
+    return None
+
+
 def _evaluate_cell_slo(slo: Any, obs: Observability, runtime: Any):
     from ..obs.slo import SLOSpec, evaluate_slo, load_slo_spec
 
@@ -151,6 +196,9 @@ def run_load_cell(
     retry_policy: Optional[RetryPolicy] = None,
     ops: Any = None,
     label: Optional[str] = None,
+    autonomic: Any = False,
+    telemetry_interval_ms: Optional[float] = None,
+    flight: Any = None,
 ) -> LoadCellResult:
     """Run one open-loop cell on a fresh testbed.
 
@@ -159,6 +207,14 @@ def run_load_cell(
     :class:`~repro.smock.OverloadConfig`).  ``retry_policy`` is a
     template: each proxy gets its own copy seeded ``seed + i`` so retry
     jitter streams stay independent and reproducible.
+
+    ``autonomic`` passes through to the runtime's autonomic knob
+    (``False`` / ``True`` / :class:`~repro.autonomic.AutonomicConfig`);
+    when truthy every bound proxy is registered with the autonomic
+    manager so scale rounds can rebind it, and the cell result carries
+    an ``autonomic`` summary of the actuated decisions.
+    ``telemetry_interval_ms`` (sim ms per sample) and ``flight`` (a
+    :class:`~repro.obs.flight.FlightRecorder`) pass through unchanged.
     """
     from ..experiments.mail_setup import build_mail_testbed
 
@@ -172,6 +228,9 @@ def run_load_cell(
             flush_policy="never",
             users=DEFAULT_USERS,
             overload_protection=protection,
+            autonomic=autonomic,
+            telemetry_interval_ms=telemetry_interval_ms,
+            flight=flight,
         )
         runtime = testbed.runtime
         nodes = testbed.client_nodes(site)[:n_proxies]
@@ -192,6 +251,10 @@ def run_load_cell(
                 honor_retry_after=template.honor_retry_after,
             )
             proxies.append(proxy)
+            if runtime.autonomic is not None:
+                runtime.autonomic.track_access(
+                    proxy, runtime.generic_server.accesses[-1]
+                )
 
         driver = OpenLoopDriver(
             proxies, arrival, config, ops or open_loop_mail_ops()
@@ -201,6 +264,47 @@ def run_load_cell(
         slo_report = None
         if slo is not None:
             slo_report = _evaluate_cell_slo(slo, obs, runtime)
+
+        autonomic_summary = None
+        manager = runtime.autonomic
+        if manager is not None:
+            # Converge replica state (same sweep the chaos harness runs
+            # post-schedule), then grade the invariants the headline
+            # claims: no acked update lost, replicas ⊆ primary, and
+            # scale-in having consolidated below the peak replica count.
+            # (The final count is load-determined, not forced back to the
+            # bind-time baseline: the baseline was planned at the spec's
+            # declared RequestRate, and if the *measured* steady rate is
+            # higher, condition 3 legitimately keeps more views.)
+            from ..chaos.harness import _final_sweep
+            from ..chaos.invariants import check_convergence
+
+            _final_sweep(runtime)
+            directory = runtime.coherence
+            autonomic_summary = {
+                "events": [e.as_dict() for e in manager.events],
+                "signals": len(manager.engine.signals) if manager.engine else 0,
+                "suppressed": manager.suppressed,
+                "installed": sum(len(e.installed) for e in manager.events),
+                "retired": sum(len(e.retired) for e in manager.events),
+                "views_final": manager._view_count(),
+                "views_peak": manager.views_peak,
+                "views_baseline": manager._baseline_views,
+                "convergence_violations": check_convergence(runtime),
+                "lost_updates": directory.stats.lost_updates,
+                "has_lost_buffers": directory.has_lost_buffers,
+                "scale_out_at_ms": next(
+                    (
+                        e.time_ms
+                        for e in manager.events
+                        if e.action == "scale_out" and e.installed
+                    ),
+                    None,
+                ),
+                "p99_windows_to_recover": _p99_recovery_windows(
+                    runtime, manager, config.deadline_ms
+                ),
+            }
 
         overload = runtime.overload
         return LoadCellResult(
@@ -233,6 +337,7 @@ def run_load_cell(
             slo_passed=None if slo_report is None else slo_report.passed,
             slo_report=None if slo_report is None else slo_report.to_dict(),
             signature=_cell_signature(runtime, result, proxies),
+            autonomic=autonomic_summary,
         )
 
 
@@ -244,12 +349,16 @@ class LoadSweepResult:
     cells: List[LoadCellResult] = field(default_factory=list)
 
     def curve(self, protection: bool) -> List[LoadCellResult]:
+        """The cells of one protection mode, in offered-rate order."""
         return [c for c in self.cells if c.protection == protection]
 
     def knee(self, protection: bool) -> Optional[float]:
+        """The capacity knee (req/s) of one mode's goodput curve —
+        the last offered rate before goodput stops tracking load."""
         return find_knee(self.curve(protection))
 
     def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the ``load-sweep --output`` artifact)."""
         return {
             "rates": list(self.rates),
             "knee": {
@@ -333,6 +442,9 @@ class FlashCrowdPair:
     reference: Optional[LoadCellResult]
     unprotected: LoadCellResult
     protected: LoadCellResult
+    #: fourth cell — protection *and* the autonomic loop — present only
+    #: when :func:`run_flash_crowd_pair` ran with ``autonomic`` truthy
+    autonomic: Optional[LoadCellResult] = None
 
     @property
     def peak_goodput_per_s(self) -> Optional[float]:
@@ -349,14 +461,27 @@ class FlashCrowdPair:
         peak = self.peak_goodput_per_s
         return self.unprotected.goodput_per_s / peak if peak else None
 
+    @property
+    def autonomic_retention(self) -> Optional[float]:
+        """Autonomic flash goodput as a fraction of peak goodput (can
+        exceed 1.0: scale-out adds capacity beyond the single-chain
+        reference)."""
+        peak = self.peak_goodput_per_s
+        if not peak or self.autonomic is None:
+            return None
+        return self.autonomic.goodput_per_s / peak
+
     def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the flash-mode ``load-sweep --output`` artifact)."""
         return {
             "peak_goodput_per_s": self.peak_goodput_per_s,
             "protected_retention": self.protected_retention,
             "unprotected_retention": self.unprotected_retention,
+            "autonomic_retention": self.autonomic_retention,
             "reference": self.reference.as_dict() if self.reference else None,
             "unprotected": self.unprotected.as_dict(),
             "protected": self.protected.as_dict(),
+            "autonomic": self.autonomic.as_dict() if self.autonomic else None,
         }
 
 
@@ -371,6 +496,8 @@ def run_flash_crowd_pair(
     config: Optional[LoadConfig] = None,
     protection: Any = True,
     slo: Any = None,
+    autonomic: Any = False,
+    flight: Any = None,
     **cell_kwargs: Any,
 ) -> FlashCrowdPair:
     """Run the same seeded flash-crowd trace unprotected and protected.
@@ -382,6 +509,18 @@ def run_flash_crowd_pair(
     the flash and goodput collapses to ~25% of peak; protected,
     admission + throttling shed the excess before it reaches a CPU and
     goodput holds near 100% of peak with bounded p99.
+
+    With ``autonomic`` truthy a *fourth* cell runs the same trace with
+    protection **and** the autonomic loop: the crowd trips the
+    saturation rules, views scale out across the site, and goodput rises
+    above the protected-only cell (capacity grows instead of shedding);
+    after the crowd decays, scale-in retires the extra replicas.  The
+    other three cells are untouched — their signatures stay comparable
+    against autonomic-less baselines.
+
+    ``flight`` (a :class:`~repro.obs.FlightRecorder`) attaches to the
+    autonomic cell only, so its recording is the scale-out story rather
+    than an interleaving of all four cells.
     """
     config = config or LoadConfig()
 
@@ -414,6 +553,14 @@ def run_flash_crowd_pair(
         flash(), config=config, protection=protection, slo=slo,
         label="flash-crowd", **cell_kwargs,
     )
+    autonomic_cell = None
+    if autonomic:
+        autonomic_cell = run_load_cell(
+            flash(), config=config, protection=protection, slo=slo,
+            label="flash-autonomic", autonomic=autonomic, flight=flight,
+            **cell_kwargs,
+        )
     return FlashCrowdPair(
-        reference=reference, unprotected=unprotected, protected=protected
+        reference=reference, unprotected=unprotected, protected=protected,
+        autonomic=autonomic_cell,
     )

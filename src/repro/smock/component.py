@@ -152,6 +152,10 @@ class RuntimeComponent:
         self.latency = Monitor(f"component:{instance_id}")
         self.requests_served = 0
         self.requests_forwarded = 0
+        #: requests past admission and not yet responded; the autonomic
+        #: manager's live-migration drain waits for this to hit zero
+        #: before retiring the instance
+        self.inflight = 0
         # Hot-path handles, resolved once: unit/node/factor_values are
         # fixed for the instance's lifetime, so the label string, CPU
         # charge, and op dispatch table never change after construction.
@@ -239,13 +243,19 @@ class RuntimeComponent:
         sim = self.runtime.sim
         start = sim.now
         req.trace.append(self._label)
-        yield from self.node.execute(self._cpu_per_request)
+        self.inflight += 1
         try:
-            resp = yield from self.dispatch(req)
-        except FaultError:
-            raise  # infrastructure fault, not a component bug: propagate
-        except Exception as exc:  # noqa: BLE001 - fault isolation boundary
-            resp = ServiceResponse.failure(f"{self._label}: {type(exc).__name__}: {exc}")
+            yield from self.node.execute(self._cpu_per_request)
+            try:
+                resp = yield from self.dispatch(req)
+            except FaultError:
+                raise  # infrastructure fault, not a component bug: propagate
+            except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+                resp = ServiceResponse.failure(
+                    f"{self._label}: {type(exc).__name__}: {exc}"
+                )
+        finally:
+            self.inflight -= 1
         self.requests_served += 1
         self.latency.observe(sim.now - start)
         return resp

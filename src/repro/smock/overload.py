@@ -114,6 +114,7 @@ class OverloadStats:
     breaker_fast_fails: int = 0
 
     def as_dict(self) -> Dict[str, int]:
+        """JSON-ready counter snapshot (keys match the metric names)."""
         return {
             "shed": self.shed,
             "throttled": self.throttled,
@@ -328,11 +329,13 @@ class OverloadManager:
 
     # -- client-side accounting ----------------------------------------------
     def note_throttled(self, client_node: str) -> None:
+        """Count one client-side rate-limiter delay (caller still sends)."""
         self.stats.throttled += 1
         if self._metrics is not None:
             self._metrics.inc("overload.throttled", client_node=client_node)
 
     def note_fast_fail(self, client_node: str) -> None:
+        """Count one request rejected locally by an open circuit breaker."""
         self.stats.breaker_fast_fails += 1
         if self._metrics is not None:
             self._metrics.inc("overload.breaker_fast_fails", client_node=client_node)

@@ -129,6 +129,10 @@ class ServiceProxy:
         self.retry_policy = retry_policy
         self._stub = ServerStub(runtime, interface, client_node, root)
         self.latency = Monitor(f"proxy:{client_node}")
+        #: logical operations issued (counted once, before any retries);
+        #: survives rebinds — the autonomic manager derives per-binding
+        #: offered request rates from deltas of this counter
+        self.requests = 0
         self.retries = 0
         self.timeouts = 0
         self.throttled = 0
@@ -186,6 +190,7 @@ class ServiceProxy:
         real frontend pools connections the same way).
         """
         sim = self.runtime.sim
+        self.requests += 1
         if self._fast and self.retry_policy is None:
             # Same events in the same order as below — the span is a
             # no-op NULL_SPAN and the metrics call a disabled-registry

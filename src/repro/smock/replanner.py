@@ -90,6 +90,11 @@ class ReplanManager:
         self.bundle = runtime.primary
         self.bindings: List[_Binding] = []
         self.events: List[ReplanEvent] = []
+        #: optional :class:`~repro.autonomic.manager.AutonomicManager`
+        #: collaborator; when set, rounds call its hooks (reservation
+        #: ledger, per-binding bin-packing, retire-time drain).  ``None``
+        #: keeps every round byte-identical to the pre-autonomic code.
+        self.autonomic: Any = None
         self._scheduled = False
         self._replanning = False
         self._rerun_trigger: Optional[ChangeEvent] = None
@@ -167,6 +172,9 @@ class ReplanManager:
         bundle = self.bundle
         planner = bundle.planner
         event = ReplanEvent(time_ms=runtime.sim.now, trigger=trigger)
+        autonomic = self.autonomic
+        if autonomic is not None:
+            autonomic.on_round_start(trigger)
 
         # Failover preamble: drop dead-host instances from the runtime's
         # registries before planning, so the planner state seeded below
@@ -229,12 +237,20 @@ class ReplanManager:
             new_plans.append(plan)
             for placement in plan.placements:
                 state.add(placement)
+            if autonomic is not None:
+                autonomic.on_binding_planned(binding, plan)
 
         # Compute the new desired placement-key set.
         desired: Set[Tuple] = set()
-        for plan in new_plans:
+        for binding, plan in zip(self.bindings, new_plans):
             if plan is not None:
                 desired.update(p.key for p in plan.placements)
+            elif autonomic is not None:
+                # Utilization rounds must not retire the still-live chain
+                # of a binding whose replan failed (e.g. measured rates
+                # momentarily exceed what condition 3 can place): keep
+                # its current placements until a later round succeeds.
+                desired.update(p.key for p in binding.plan.placements)
         for placement in planner.state.placements():
             if placement.key in bundle.instances and self._is_primary(placement):
                 desired.add(placement.key)
@@ -273,6 +289,11 @@ class ReplanManager:
             if key in desired:
                 continue
             instance = bundle.instances[key]
+            if autonomic is not None:
+                # Live migration: proxies are already rebound, so only
+                # in-flight requests remain — drain them (bounded) before
+                # flushing state and uninstalling.
+                yield from autonomic.drain_instance(instance)
             flush = getattr(instance, "_sync", None)
             if flush is not None and getattr(instance, "replica_id", None) is not None:
                 yield from flush()
@@ -287,6 +308,8 @@ class ReplanManager:
         planner.state = state
         self.events.append(event)
         self._observe_round(event)
+        if autonomic is not None:
+            autonomic.on_round_end(event)
         return event
 
     # -- anti-entropy ------------------------------------------------------------

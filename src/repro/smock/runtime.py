@@ -83,6 +83,7 @@ class SmockRuntime:
         telemetry_capacity: int = 720,
         flight: Any = None,
         overload_protection: Any = False,
+        autonomic: Any = False,
     ) -> None:
         self.network = network
         self.obs = resolve_obs(obs)
@@ -168,6 +169,19 @@ class SmockRuntime:
         #: ``> 0`` samples every that-many simulated ms.
         self.flight = flight
         self.sampler: Optional[Any] = None
+        #: autonomic loop (see repro.autonomic): ``False``/``None``
+        #: constructs nothing — byte-identical runs; truthy values
+        #: coerce to an :class:`~repro.autonomic.AutonomicConfig` and
+        #: imply telemetry (defaulting the sampler to 500 ms when the
+        #: caller did not size it).
+        self.autonomic: Optional[Any] = None
+        autonomic_config = None
+        if autonomic:
+            from ..autonomic import AutonomicConfig
+
+            autonomic_config = AutonomicConfig.coerce(autonomic)
+            if telemetry_interval_ms is None:
+                telemetry_interval_ms = 500.0
         if telemetry_interval_ms is not None:
             from ..obs.timeseries import TelemetrySampler
 
@@ -181,6 +195,10 @@ class SmockRuntime:
             if self.sampler.enabled:
                 self.sampler.attach_runtime(self)
                 self.sampler.start()
+        if autonomic_config is not None:
+            from ..autonomic import AutonomicManager
+
+            self.autonomic = AutonomicManager(self, autonomic_config).attach()
 
     # -- bundle plumbing ---------------------------------------------------------
     def _make_bundle(
@@ -481,17 +499,25 @@ class SmockRuntime:
         whether liveness-triggered replan rounds seed their search from
         each binding's previous plan (see
         :mod:`repro.planner.incremental`).  Idempotent: a second call
-        returns the existing manager.
+        returns the existing manager.  A dormant replanner created by
+        the autonomic manager (no monitor polling, no heartbeats) is
+        upgraded in place — its bindings and autonomic hooks survive.
         """
         existing = getattr(self, "replanner", None)
-        if existing is not None:
+        if existing is not None and getattr(self, "failure_detector", None) is not None:
             return existing
         from ..faults import FailureDetector
         from ..network.monitor import NetworkMonitor
         from .replanner import ReplanManager
 
-        monitor = NetworkMonitor(self.sim, self.network, poll_interval_ms)
-        replanner = ReplanManager(self, monitor, incremental=incremental)
+        if existing is not None:
+            monitor = existing.monitor
+            monitor.poll_interval_ms = poll_interval_ms
+            replanner = existing
+            replanner.incremental = incremental
+        else:
+            monitor = NetworkMonitor(self.sim, self.network, poll_interval_ms)
+            replanner = ReplanManager(self, monitor, incremental=incremental)
         detector = FailureDetector(
             self,
             monitor,

@@ -1,0 +1,124 @@
+"""Autonomic knob discipline and decision determinism.
+
+Three promises pinned here:
+
+* ``autonomic=False`` (the default) is byte-identical to the
+  pre-autonomic build — proven against the committed BENCH_load.json
+  cell signature, which predates the autonomic subsystem;
+* under light load the closed loop is a *no-op*: no signals actuate, no
+  replicas move, and every request-level observable matches the
+  autonomic-off run tick for tick;
+* same seed + same knobs => the same scale decisions, at the same
+  simulated instants, with the same installed/retired instances (the
+  determinism pin for BENCH_autonomic cells).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.load import LoadConfig, run_load_cell
+from repro.sim import FlashCrowdProcess, PoissonProcess
+
+BENCH_LOAD = pathlib.Path(__file__).parents[2] / "benchmarks" / "BENCH_load.json"
+
+LIGHT = LoadConfig(duration_ms=5_000.0, drain_ms=15_000.0, n_users=500, seed=31)
+FLASH_CFG = LoadConfig(
+    duration_ms=8_000.0, drain_ms=25_000.0, n_users=2_000, seed=43
+)
+
+
+def _flash(seed):
+    return FlashCrowdProcess(
+        70.0, 400.0, at_ms=2_000.0, ramp_ms=1_000.0, hold_ms=4_000.0,
+        decay_ms=1_000.0, seed=seed,
+    )
+
+
+def _request_observables(cell):
+    """Request-level outcomes the loop could perturb.  Event counts and
+    sim time are excluded deliberately: the autonomic cell runs a
+    post-drain convergence sweep that adds (deterministic) events even
+    when no decision fired."""
+    return (
+        cell.offered, cell.completed, cell.ok, cell.timely, cell.failed,
+        cell.unfinished, sorted(cell.errors.items()),
+        cell.p50_ms, cell.p99_ms, cell.p999_ms,
+        cell.retries, cell.timeouts, cell.throttled,
+    )
+
+
+class TestOffByteIdentity:
+    def test_matches_pre_autonomic_committed_signature(self):
+        """The strongest off-discipline pin available: the committed
+        BENCH_load signature was recorded before the autonomic subsystem
+        existed; a default (autonomic=False) cell must still hash to it."""
+        committed = json.loads(BENCH_LOAD.read_text())
+        pinned = committed["current"]["pre_knee_peak"]["signature"]
+        cell = run_load_cell(
+            PoissonProcess(100.0, seed=7),
+            config=LoadConfig(
+                duration_ms=10_000.0, drain_ms=30_000.0, n_users=10_000,
+                seed=7,
+            ),
+            slo="default",
+        )
+        assert cell.signature == pinned
+        assert cell.autonomic is None
+
+
+class TestNoOpBelowThresholds:
+    def test_light_load_actuates_nothing(self):
+        """30 req/s against a ~110 req/s knee: no threshold sustains, so
+        the loop observes but never actuates, and request outcomes are
+        identical to the autonomic-off run."""
+        off = run_load_cell(
+            PoissonProcess(30.0, seed=31), config=LIGHT, protection=True,
+            telemetry_interval_ms=500.0,
+        )
+        on = run_load_cell(
+            PoissonProcess(30.0, seed=31), config=LIGHT, protection=True,
+            telemetry_interval_ms=500.0, autonomic=True,
+        )
+        assert _request_observables(on) == _request_observables(off)
+        summary = on.autonomic
+        assert summary is not None
+        assert summary["events"] == []
+        assert summary["installed"] == 0
+        assert summary["retired"] == 0
+        assert summary["scale_out_at_ms"] is None
+        assert summary["lost_updates"] == 0
+        assert summary["convergence_violations"] == []
+
+
+class TestDecisionDeterminism:
+    def test_same_seed_same_decisions(self):
+        """Two runs of the same seeded flash must make the same scale
+        decisions at the same simulated instants and end bit-identical."""
+        a = run_load_cell(
+            _flash(43), config=FLASH_CFG, protection=True, autonomic=True
+        )
+        b = run_load_cell(
+            _flash(43), config=FLASH_CFG, protection=True, autonomic=True
+        )
+        assert a.signature == b.signature
+        assert a.events == b.events
+        assert a.sim_ms == b.sim_ms
+        assert a.autonomic["events"] == b.autonomic["events"]
+        assert a.autonomic["signals"] == b.autonomic["signals"]
+
+    def test_flash_actually_scales_out_and_preserves_state(self):
+        """The sub-headline flash trips the loop: replicas install while
+        the crowd holds, and no acked update is lost across the
+        drain/flush/retire path."""
+        cell = run_load_cell(
+            _flash(43), config=FLASH_CFG, protection=True, autonomic=True
+        )
+        summary = cell.autonomic
+        assert summary["scale_out_at_ms"] is not None
+        assert summary["installed"] >= 1
+        assert summary["views_peak"] > summary["views_baseline"]
+        assert summary["lost_updates"] == 0
+        assert summary["has_lost_buffers"] is False
+        assert summary["convergence_violations"] == []

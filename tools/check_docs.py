@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation checker: links resolve, snippets run, examples run.
 
-Three phases, each selectable (all run by default):
+Four phases, each selectable (all run by default):
 
 - ``--links``: every relative markdown link in the repo's ``*.md`` files
   must point at an existing file/directory (anchors and external URLs
@@ -14,6 +14,11 @@ Three phases, each selectable (all run by default):
   not executed.  Execution happens in a scratch directory so snippets
   may write files.
 - ``--examples``: every ``examples/*.py`` script must exit 0.
+- ``--cli-flags``: every ``python -m repro <cmd> ...`` command quoted in
+  the repo's markdown (fenced blocks and inline code spans) must name a
+  real subcommand, and every ``--flag`` it passes must appear in that
+  subcommand's ``--help``.  Catches docs drifting from the argparse
+  surface.
 
 Stdlib only; exit status is the number of failing checks.
 """
@@ -138,13 +143,110 @@ def check_examples() -> List[str]:
     return failures
 
 
+FLAG_RE = re.compile(r"--[a-zA-Z][\w-]*")
+CODE_SPAN_RE = re.compile(r"`([^`\n]+)`")
+ANY_FENCE_RE = re.compile(r"```[^\n]*\n(.*?)```", re.DOTALL)
+
+_help_cache: dict = {}
+
+
+def _repro_help(subcommand: str) -> Tuple[int, str]:
+    """``(exit_status, combined output)`` of ``python -m repro <cmd> --help``."""
+    if subcommand not in _help_cache:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", subcommand, "--help"],
+            cwd=REPO,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        _help_cache[subcommand] = (proc.returncode, proc.stdout + proc.stderr)
+    return _help_cache[subcommand]
+
+
+def iter_cli_commands(md: Path) -> List[Tuple[int, str]]:
+    """``(line_number, command_text)`` for each ``-m repro`` invocation.
+
+    Looks inside fenced blocks of any language and inline code spans;
+    backslash continuations inside a fence are joined into one command.
+    """
+    text = md.read_text(encoding="utf-8")
+    commands = []
+
+    def add(line: int, chunk: str) -> None:
+        if "-m repro" in chunk:
+            commands.append((line, chunk))
+
+    fence_spans = []
+    for match in ANY_FENCE_RE.finditer(text):
+        fence_spans.append((match.start(), match.end()))
+        body = match.group(1)
+        base_line = text[: match.start()].count("\n") + 2
+        joined: List[str] = []
+        start_line = base_line
+        for offset, raw in enumerate(body.splitlines()):
+            if not joined:
+                start_line = base_line + offset
+            joined.append(raw.rstrip("\\").strip())
+            if raw.rstrip().endswith("\\"):
+                continue
+            add(start_line, " ".join(joined))
+            joined = []
+        if joined:
+            add(start_line, " ".join(joined))
+
+    for match in CODE_SPAN_RE.finditer(text):
+        if any(lo <= match.start() < hi for lo, hi in fence_spans):
+            continue
+        add(text[: match.start()].count("\n") + 1, match.group(1))
+    return commands
+
+
+def check_cli_flags() -> List[str]:
+    failures = []
+    import shlex
+
+    for md in iter_markdown_files():
+        for line, command in iter_cli_commands(md):
+            label = f"{md.relative_to(REPO)}:{line}"
+            try:
+                tokens = shlex.split(command)
+            except ValueError:
+                tokens = command.split()
+            try:
+                after = tokens[tokens.index("repro") + 1 :]
+            except (ValueError, IndexError):
+                continue
+            subcommand = next((t for t in after if not t.startswith("-")), None)
+            if subcommand is None or subcommand[0] in "<{[$":
+                # Placeholder, e.g. "<cmd>" or a quoted usage line's
+                # "{fig5,fig6,...}" choice set — nothing to validate.
+                continue
+            status, help_text = _repro_help(subcommand)
+            if status != 0:
+                failures.append(f"{label}: unknown subcommand '{subcommand}'")
+                continue
+            known = set(FLAG_RE.findall(help_text))
+            for token in after:
+                flag = FLAG_RE.match(token)
+                if flag and flag.group(0) not in known:
+                    failures.append(
+                        f"{label}: '{subcommand}' has no flag {flag.group(0)}"
+                    )
+    return failures
+
+
 def main(argv: List[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--links", action="store_true")
     parser.add_argument("--snippets", action="store_true")
     parser.add_argument("--examples", action="store_true")
+    parser.add_argument("--cli-flags", action="store_true")
     args = parser.parse_args(argv)
-    run_all = not (args.links or args.snippets or args.examples)
+    run_all = not (args.links or args.snippets or args.examples or args.cli_flags)
 
     sys.path.insert(0, str(REPO / "src"))
     failures: List[str] = []
@@ -154,6 +256,8 @@ def main(argv: List[str]) -> int:
         failures += check_snippets()
     if run_all or args.examples:
         failures += check_examples()
+    if run_all or args.cli_flags:
+        failures += check_cli_flags()
 
     for failure in failures:
         print(f"FAIL {failure}")
