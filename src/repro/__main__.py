@@ -534,6 +534,7 @@ def cmd_load_sweep(args: argparse.Namespace) -> int:
         sweep = run_load_sweep(
             args.rates, modes=modes, config=config, slo=args.slo,
             retry_policy=retry, autonomic=args.autonomic,
+            parallel=args.parallel,
         )
         log.info(f"load-sweep: {len(args.rates)} rates x {len(modes)} mode(s)")
         for line in sweep.render().splitlines():
@@ -632,6 +633,83 @@ def cmd_load_sweep(args: argparse.Namespace) -> int:
         log.error("load-sweep: gated run failed the SLO (--fail-on-slo)")
         return 1
     return 0
+
+
+def cmd_parallel_sim(args: argparse.Namespace) -> int:
+    """Conservative parallel kernel demo on the Figure-5 topology: the
+    three sites become three logical processes (lookahead = min
+    inter-site latency) hosting the deterministic site-traffic workload
+    on ``--workers`` processes.  ``--check-determinism`` re-runs the
+    identical workload single-process and asserts equal run signatures
+    — worker count is placement, never physics."""
+    import json as _json
+    import os
+
+    from .experiments.topology_fig5 import build_fig5_network
+    from .sim.parallel import (
+        TrafficConfig,
+        partition_network,
+        run_parallel,
+        site_traffic_program,
+    )
+
+    topo = build_fig5_network(clients_per_site=args.clients)
+    plan = partition_network(topo.network, credential=args.credential)
+    for line in plan.describe():
+        log.info(f"parallel-sim: {line}")
+
+    config = TrafficConfig(
+        seed=args.seed,
+        messages_per_client=args.messages,
+        remote_fraction=args.remote_fraction,
+        think_mean_ms=args.think_mean,
+    )
+    result = run_parallel(
+        topo.network, site_traffic_program, config,
+        workers=args.workers, until=args.until, plan=plan,
+    )
+    counters = result.merged_counters()
+    log.info(
+        f"parallel-sim: workers={result.workers_used} "
+        f"events={result.total_events} wall={result.wall_s:.3f}s "
+        f"({result.events_per_sec:,.0f} events/s)"
+    )
+    log.info(f"parallel-sim: counters={counters}")
+    log.info(f"parallel-sim: signature={result.signature()[:16]}")
+
+    rc = 0
+    artifact = {"kind": "parallel-sim", "run": result.as_dict()}
+    if args.check_determinism:
+        single = run_parallel(
+            topo.network, site_traffic_program, config,
+            workers=1, until=args.until, plan=plan,
+        )
+        match = single.signature() == result.signature()
+        artifact["determinism"] = {
+            "single_signature": single.signature(),
+            "parallel_signature": result.signature(),
+            "match": match,
+        }
+        if match:
+            log.info(
+                f"parallel-sim: determinism OK — workers=1 and "
+                f"workers={result.workers_used} signatures match"
+            )
+        else:
+            log.error(
+                "parallel-sim: DETERMINISM VIOLATION — "
+                f"workers=1 {single.signature()[:16]} != "
+                f"workers={result.workers_used} {result.signature()[:16]}"
+            )
+            rc = 1
+    if args.json:
+        parent = os.path.dirname(args.json)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.json, "w") as fh:
+            _json.dump(artifact, fh, indent=2)
+        log.info(f"parallel-sim: wrote artifact to {args.json}")
+    return rc
 
 
 def main(argv=None) -> int:
@@ -906,7 +984,41 @@ def main(argv=None) -> int:
                         "decisions) as JSONL to PATH")
     p.add_argument("--output", metavar="PATH", default=None,
                    help="write the goodput-curve JSON artifact to PATH")
+    p.add_argument("--parallel", type=int, default=0, metavar="N",
+                   help="--rates mode: farm the independent cells out to "
+                        "N worker processes (cells and signatures are "
+                        "identical to a sequential sweep)")
     p.set_defaults(fn=cmd_load_sweep)
+
+    p = sub.add_parser(
+        "parallel-sim",
+        help="conservative parallel DES demo on the Figure-5 sites",
+        parents=[obs_parser],
+    )
+    p.add_argument("--workers", type=int, default=4, metavar="N",
+                   help="worker processes (capped at the partition count; "
+                        "1 = in-process, same protocol)")
+    p.add_argument("--clients", type=int, default=5,
+                   help="client nodes per site (Figure-5 topology)")
+    p.add_argument("--messages", type=int, default=200,
+                   help="messages each client sends")
+    p.add_argument("--remote-fraction", type=float, default=0.05,
+                   help="probability a message crosses sites")
+    p.add_argument("--think-mean", type=float, default=40.0,
+                   help="mean exponential think time between messages (ms)")
+    p.add_argument("--until", type=float, default=30_000.0,
+                   help="simulation horizon (sim ms, exclusive)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--credential", default="site",
+                   help="node credential to partition by (fallback: "
+                        "latency min-cut)")
+    p.add_argument("--check-determinism", action="store_true",
+                   help="re-run single-process and require identical "
+                        "run signatures")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the run artifact (plan, per-partition "
+                        "results, signature) as JSON to PATH")
+    p.set_defaults(fn=cmd_parallel_sim)
 
     args = parser.parse_args(argv)
     configure_logging(level=args.log_level, json_output=args.log_json)

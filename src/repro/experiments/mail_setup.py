@@ -59,6 +59,7 @@ def build_mail_testbed(
     obs=None,
     overload_protection: Any = False,
     autonomic: Any = False,
+    parallel: Any = False,
 ) -> MailTestbed:
     """The standard case-study testbed.
 
@@ -97,6 +98,11 @@ def build_mail_testbed(
     :class:`~repro.autonomic.AutonomicConfig` — defaulting the sampler
     to 500 ms when ``telemetry_interval_ms`` is unset — or pass a
     config instance / kwargs dict.
+
+    ``parallel`` passes through to :class:`SmockRuntime`: ``False``
+    (default) constructs nothing — byte-identical runs — while an int N
+    enables ``runtime.run_parallel_traffic`` on N conservative worker
+    processes (see :mod:`repro.sim.parallel`).
     """
     spec = build_mail_spec()
     if node_cpu is None:
@@ -132,6 +138,7 @@ def build_mail_testbed(
         obs=obs,
         overload_protection=overload_protection,
         autonomic=autonomic,
+        parallel=parallel,
     )
     runtime.service_state["mail_users"] = tuple(users)
     for name, cls in MAIL_COMPONENT_CLASSES.items():

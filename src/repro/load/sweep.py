@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import Observability, use_obs
 from ..services.mail.spec import DEFAULT_USERS
@@ -400,12 +400,33 @@ def find_knee(cells: Sequence[LoadCellResult]) -> Optional[float]:
     return None  # pragma: no cover - best itself always qualifies
 
 
+def _sweep_cell_task(task: Tuple) -> LoadCellResult:
+    """Top-level (picklable) worker for one sweep cell.
+
+    The arrival process is constructed *inside* the worker from
+    ``(rate, index)`` — identical to what the sequential loop builds —
+    so parallel and sequential sweeps produce cell-for-cell identical
+    signatures.
+    """
+    rate, index, protection, config, slo, cell_kwargs = task
+    arrival = PoissonProcess(rate, seed=config.seed * 1000 + index)
+    return run_load_cell(
+        arrival,
+        config=config,
+        protection=protection,
+        slo=slo,
+        label="poisson",
+        **cell_kwargs,
+    )
+
+
 def run_load_sweep(
     rates: Sequence[float],
     modes: Sequence[bool] = (False, True),
     config: Optional[LoadConfig] = None,
     protection: Any = True,
     slo: Any = None,
+    parallel: int = 0,
     **cell_kwargs: Any,
 ) -> LoadSweepResult:
     """One Poisson cell per offered rate per protection mode.
@@ -415,22 +436,30 @@ def run_load_sweep(
     bare runtime.  Each cell gets a fresh testbed and an arrival seed
     derived from the config seed and the rate's index, so curves are
     reproducible point by point.
+
+    ``parallel`` > 1 farms the cells out to that many worker processes
+    (cells are embarrassingly parallel: each builds its own testbed and
+    its arrival seed depends only on the sweep seed and rate index).
+    Cell order and signatures are identical to a sequential sweep.
     """
     config = config or LoadConfig()
     sweep = LoadSweepResult(rates=list(rates))
-    for mode in modes:
-        for i, rate in enumerate(rates):
-            arrival = PoissonProcess(rate, seed=config.seed * 1000 + i)
-            sweep.cells.append(
-                run_load_cell(
-                    arrival,
-                    config=config,
-                    protection=protection if mode else False,
-                    slo=slo,
-                    label="poisson",
-                    **cell_kwargs,
-                )
-            )
+    tasks = [
+        (rate, i, protection if mode else False, config, slo, cell_kwargs)
+        for mode in modes
+        for i, rate in enumerate(rates)
+    ]
+    if parallel and parallel > 1 and len(tasks) > 1:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        with ctx.Pool(processes=min(parallel, len(tasks))) as pool:
+            sweep.cells.extend(pool.map(_sweep_cell_task, tasks))
+    else:
+        sweep.cells.extend(_sweep_cell_task(task) for task in tasks)
     return sweep
 
 

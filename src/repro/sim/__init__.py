@@ -8,6 +8,12 @@ router) with a deterministic, seeded simulator.  Public surface:
 - :class:`Resource`, :class:`Store`, :class:`Monitor`
 - :class:`SimNode` — host with CPU capacity + credentials
 - :class:`SimLink` — latency/bandwidth link with security credential
+
+The conservative parallel kernel lives in :mod:`repro.sim.parallel`
+(imported on demand — it depends on :mod:`repro.network`, which in turn
+imports this package, so an eager import here would be circular).  Its
+front doors are ``Simulator.run_parallel`` and
+``repro.sim.parallel.run_parallel``.
 """
 
 from .arrivals import (
@@ -23,6 +29,7 @@ from .events import (
     AnyOf,
     Event,
     FaultError,
+    Injected,
     LinkDownError,
     NodeDownError,
     SimulationError,
@@ -31,12 +38,13 @@ from .events import (
 from .node import SimNode
 from .process import Interrupt, Process
 from .resources import Monitor, Resource, Store
-from .transport import LOCALHOST_LINK_ID, SimLink, transfer_time_ms
+from .transport import LOCALHOST_LINK_ID, SimHalfLink, SimLink, transfer_time_ms
 
 __all__ = [
     "Simulator",
     "Event",
     "Timeout",
+    "Injected",
     "AnyOf",
     "AllOf",
     "SimulationError",
@@ -50,6 +58,7 @@ __all__ = [
     "Monitor",
     "SimNode",
     "SimLink",
+    "SimHalfLink",
     "transfer_time_ms",
     "LOCALHOST_LINK_ID",
     "ArrivalProcess",

@@ -1,9 +1,15 @@
 """The discrete-event simulation kernel.
 
 :class:`Simulator` owns the event list (a binary heap keyed on
-``(time, seq)`` so that equal-time events run in schedule order, keeping
-runs deterministic) and the simulated clock.  All framework time is in
-**milliseconds** — the unit of the paper's Figure 7.
+``(time, origin, seq)`` — a *total* deterministic order: equal-time
+events run in schedule order within one origin, and events merged in
+from other partitions of a parallel run (see
+:mod:`repro.sim.parallel`) sort by their origin partition id and the
+sender's own sequence number, so the merge order never depends on OS
+message arrival order) and the simulated clock.  Sequential simulators
+all use origin 0, which reduces the key to the classic ``(time, seq)``
+schedule order.  All framework time is in **milliseconds** — the unit
+of the paper's Figure 7.
 
 This replaces the paper's physical testbed (Pentium III nodes + a Click
 software router doing traffic shaping): simulated links impose latency
@@ -44,11 +50,19 @@ class Simulator:
     """
 
     def __init__(
-        self, obs: Optional[Observability] = None, fast_path: bool = True
+        self,
+        obs: Optional[Observability] = None,
+        fast_path: bool = True,
+        origin: int = 0,
     ) -> None:
         self._now = 0.0
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
+        #: partition id stamped into every locally scheduled heap key.
+        #: 0 for sequential runs; the parallel layer gives each logical
+        #: process its partition rank so merged event streams from
+        #: different origins have a total, arrival-independent order.
+        self._origin = int(origin)
         self._running = False
         self._trace: Optional[List[Tuple[float, str]]] = None
         self.obs = resolve_obs(obs)
@@ -143,7 +157,24 @@ class Simulator:
     # -- kernel -------------------------------------------------------------
     def _schedule(self, when: float, event: Event) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (when, self._seq, event))
+        heapq.heappush(self._heap, (when, self._origin, self._seq, event))
+
+    def schedule_external(
+        self, when: float, origin: int, seq: int, event: Event
+    ) -> None:
+        """Merge an event from another partition into the event list.
+
+        ``(origin, seq)`` is the *sender's* identity and per-origin
+        sequence number, which keeps the heap key total and reproducible
+        across worker counts.  The caller (the parallel layer's ingress
+        path) guarantees ``origin`` differs from this simulator's own
+        origin, so external keys can never collide with local ones.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"causality violation: external event at {when} < now {self._now}"
+            )
+        heapq.heappush(self._heap, (when, origin, seq, event))
 
     def _queue_event(self, event: Event) -> None:
         """Queue an already-triggered event for callback dispatch *now*."""
@@ -158,7 +189,7 @@ class Simulator:
 
     def step(self) -> float:
         """Process one event; returns its timestamp."""
-        when, _seq, event = heapq.heappop(self._heap)
+        when, _origin, _seq, event = heapq.heappop(self._heap)
         if when < self._now:
             raise SimulationError("event list corrupted: time went backwards")
         self._now = when
@@ -195,7 +226,7 @@ class Simulator:
                     if until is not None and heap[0][0] >= until:
                         self._now = until
                         break
-                    when, _seq, event = pop(heap)
+                    when, _origin, _seq, event = pop(heap)
                     if when < self._now:
                         raise SimulationError(
                             "event list corrupted: time went backwards"
@@ -242,7 +273,7 @@ class Simulator:
                     raise SimulationError(
                         f"time limit {limit} exceeded waiting on {proc!r}"
                     )
-                when, _seq, event = pop(heap)
+                when, _origin, _seq, event = pop(heap)
                 if when < self._now:
                     raise SimulationError(
                         "event list corrupted: time went backwards"
@@ -275,6 +306,40 @@ class Simulator:
     def peek(self) -> float:
         """Timestamp of the next event, or +inf if the list is empty."""
         return self._heap[0][0] if self._heap else float("inf")
+
+    # -- parallel execution -------------------------------------------------
+    @classmethod
+    def run_parallel(
+        cls,
+        network: Any,
+        program: Callable[..., None],
+        config: Any = None,
+        *,
+        workers: int = 1,
+        until: float,
+        plan: Any = None,
+        credential: str = "site",
+    ) -> Any:
+        """Run ``program`` over ``network`` on the conservative parallel
+        kernel (:mod:`repro.sim.parallel`): one logical process per
+        topology partition, each hosting an ordinary :class:`Simulator`,
+        synchronized by null-message lookahead.  ``workers=1`` runs every
+        partition in this process (no multiprocessing) but through the
+        same partitioned protocol, so results are identical for any
+        worker count.  Returns a
+        :class:`repro.sim.parallel.ParallelRunResult`.
+        """
+        from .parallel import run_parallel as _run_parallel
+
+        return _run_parallel(
+            network,
+            program,
+            config,
+            workers=workers,
+            until=until,
+            plan=plan,
+            credential=credential,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator t={self._now} pending={len(self._heap)}>"

@@ -1,0 +1,309 @@
+"""Topology partitioning for the conservative parallel kernel.
+
+The paper's deployments are inherently *site-partitioned*: three sites
+whose only slow edges are the inter-site links (Figure 5).  That is
+exactly the shape conservative parallel DES wants — each site becomes
+one logical process, and the inter-site link latency becomes the
+channel lookahead that bounds how far each side may safely run ahead.
+
+Two partitioning rules, tried in order:
+
+1. **By site credential** (default): when every node carries the
+   credential (e.g. ``site``), nodes group by its value.  A uniform
+   credential yields one partition — a legal degenerate plan that the
+   runner executes on the plain sequential kernel.
+2. **Min-cut over link latency** (fallback): iterate the distinct link
+   latencies in descending order and take the connected components of
+   the subgraph containing only links *faster* than the threshold.
+   Every cut edge then has latency >= threshold, so the threshold is a
+   valid lookahead floor.  Lower thresholds only refine the split, so
+   the rule keeps refining and takes the finest split with no
+   single-node partition (a singleton does all its communication
+   cross-partition — pure overhead); if every split strands a
+   singleton, the coarsest split wins.  On Figure 5 without credentials
+   this recovers the three sites at threshold 100 ms.
+
+Every cut link must have strictly positive latency: zero-latency cuts
+give zero lookahead, which deadlocks a conservative protocol.  Rather
+than deadlock, :func:`partition_network` collapses such splits to a
+single partition (or raises :class:`PartitionError` when the caller
+demanded a split via ``require_split=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..events import SimulationError
+
+__all__ = [
+    "Partition",
+    "CutLink",
+    "PartitionPlan",
+    "PartitionError",
+    "partition_network",
+]
+
+
+class PartitionError(SimulationError):
+    """The topology cannot be partitioned for conservative execution."""
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One logical process's share of the topology."""
+
+    rank: int
+    name: str
+    nodes: Tuple[str, ...]
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.nodes
+
+
+@dataclass(frozen=True)
+class CutLink:
+    """One direction of a link crossing a partition boundary.
+
+    A physical cut link appears twice (once per direction) because the
+    transmit resource of each direction is owned by its sender — links
+    are full-duplex, so the two halves share no simulation state.
+    """
+
+    src: str
+    dst: str
+    src_rank: int
+    dst_rank: int
+    latency_ms: float
+    bandwidth_mbps: float
+
+
+@dataclass
+class PartitionPlan:
+    """The static structure of a parallel run.
+
+    Fully determined by the topology (never by the worker count), so
+    event keys, channel lookaheads and message sequence numbers are
+    identical no matter how partitions are packed onto processes.
+    """
+
+    partitions: Tuple[Partition, ...]
+    rank_of: Dict[str, int]
+    cuts: Tuple[CutLink, ...]
+    #: per directed partition pair: min latency over its cut links —
+    #: the channel lookahead in ms.
+    lookahead_ms: Dict[Tuple[int, int], float]
+    method: str
+    _neighbors_in: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    _neighbors_out: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ins: Dict[int, set] = {p.rank: set() for p in self.partitions}
+        outs: Dict[int, set] = {p.rank: set() for p in self.partitions}
+        for src_rank, dst_rank in self.lookahead_ms:
+            outs[src_rank].add(dst_rank)
+            ins[dst_rank].add(src_rank)
+        self._neighbors_in = {r: tuple(sorted(s)) for r, s in ins.items()}
+        self._neighbors_out = {r: tuple(sorted(s)) for r, s in outs.items()}
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def min_lookahead_ms(self) -> float:
+        """The global safety margin: min over all channel lookaheads."""
+        if not self.lookahead_ms:
+            return float("inf")
+        return min(self.lookahead_ms.values())
+
+    def partition_of(self, node: str) -> Partition:
+        return self.partitions[self.rank_of[node]]
+
+    def in_neighbors(self, rank: int) -> Tuple[int, ...]:
+        """Ranks with a channel *into* ``rank`` (sorted)."""
+        return self._neighbors_in[rank]
+
+    def out_neighbors(self, rank: int) -> Tuple[int, ...]:
+        """Ranks ``rank`` has a channel *to* (sorted)."""
+        return self._neighbors_out[rank]
+
+    def cut_links_from(self, rank: int) -> Tuple[CutLink, ...]:
+        return tuple(c for c in self.cuts if c.src_rank == rank)
+
+    def subnetwork(self, network: Any, rank: int) -> Any:
+        """A fresh :class:`~repro.network.topology.Network` holding only
+        this partition's nodes and its fully internal links."""
+        from ...network.topology import Network
+
+        part = self.partitions[rank]
+        members = set(part.nodes)
+        sub = Network()
+        for name in part.nodes:
+            info = network.node(name)
+            sub.add_node(name, info.cpu_capacity, dict(info.credentials))
+        for link in network.links():
+            if link.a in members and link.b in members:
+                sub.add_link(
+                    link.a,
+                    link.b,
+                    link.latency_ms,
+                    link.bandwidth_mbps,
+                    link.secure,
+                    dict(link.credentials),
+                )
+        return sub
+
+    def describe(self) -> List[str]:
+        """Human-readable plan summary, one line per partition."""
+        lines = [f"method={self.method} min_lookahead={self.min_lookahead_ms}ms"]
+        for p in self.partitions:
+            out = ", ".join(
+                f"->{self.partitions[d].name}@{self.lookahead_ms[(p.rank, d)]}ms"
+                for d in self.out_neighbors(p.rank)
+            )
+            lines.append(
+                f"  [{p.rank}] {p.name}: {len(p.nodes)} nodes"
+                + (f" ({out})" if out else "")
+            )
+        return lines
+
+
+def _components(nodes: List[str], edges: List[Tuple[str, str]]) -> List[List[str]]:
+    """Connected components (sorted inside and across, for determinism)."""
+    adj: Dict[str, List[str]] = {n: [] for n in nodes}
+    for a, b in edges:
+        adj[a].append(b)
+        adj[b].append(a)
+    seen: set = set()
+    comps: List[List[str]] = []
+    for start in sorted(nodes):
+        if start in seen:
+            continue
+        stack = [start]
+        comp = []
+        seen.add(start)
+        while stack:
+            u = stack.pop()
+            comp.append(u)
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        comps.append(sorted(comp))
+    return sorted(comps, key=lambda c: c[0])
+
+
+def _plan_from_groups(
+    network: Any, groups: List[Tuple[str, List[str]]], method: str
+) -> PartitionPlan:
+    partitions = tuple(
+        Partition(rank, name, tuple(sorted(nodes)))
+        for rank, (name, nodes) in enumerate(groups)
+    )
+    rank_of = {n: p.rank for p in partitions for n in p.nodes}
+    cuts: List[CutLink] = []
+    lookahead: Dict[Tuple[int, int], float] = {}
+    for link in network.links():
+        ra, rb = rank_of[link.a], rank_of[link.b]
+        if ra == rb:
+            continue
+        for src, dst, rs, rd in ((link.a, link.b, ra, rb), (link.b, link.a, rb, ra)):
+            cuts.append(
+                CutLink(src, dst, rs, rd, link.latency_ms, link.bandwidth_mbps)
+            )
+            key = (rs, rd)
+            prev = lookahead.get(key)
+            if prev is None or link.latency_ms < prev:
+                lookahead[key] = link.latency_ms
+    cuts.sort(key=lambda c: (c.src_rank, c.dst_rank, c.src, c.dst))
+    return PartitionPlan(partitions, rank_of, tuple(cuts), lookahead, method)
+
+
+def _single_partition(network: Any, method: str) -> PartitionPlan:
+    nodes = sorted(network.node_names())
+    return _plan_from_groups(network, [("all", nodes)], method)
+
+
+def partition_network(
+    network: Any,
+    credential: str = "site",
+    require_split: bool = False,
+) -> PartitionPlan:
+    """Partition ``network`` for conservative parallel execution.
+
+    Tries the ``credential`` grouping first, then the latency min-cut
+    (module docstring).  Splits whose cut links include a zero-latency
+    edge are rejected — they would mean zero lookahead.  When no legal
+    split exists the plan degenerates to a single partition unless
+    ``require_split`` is set, in which case :class:`PartitionError`
+    explains why.
+    """
+    names = sorted(network.node_names())
+    if not names:
+        raise PartitionError("cannot partition an empty network")
+
+    def _validate(plan: PartitionPlan) -> Optional[PartitionPlan]:
+        bad = [c for c in plan.cuts if c.latency_ms <= 0]
+        if bad:
+            return None
+        return plan
+
+    # Rule 1: group by credential when every node carries it.
+    values = {}
+    for name in names:
+        cred = network.node(name).credentials.get(credential)
+        if cred is None:
+            values = None
+            break
+        values.setdefault(str(cred), []).append(name)
+    if values is not None:
+        groups = sorted(values.items())
+        plan = _plan_from_groups(network, groups, f"credential:{credential}")
+        checked = _validate(plan)
+        if checked is not None:
+            return checked
+        if require_split:
+            raise PartitionError(
+                f"credential {credential!r} split has a zero-latency cut link "
+                "(zero lookahead would deadlock the conservative protocol)"
+            )
+        return _single_partition(network, f"degenerate:{credential}-zero-cut")
+
+    # Rule 2: min-cut over link latency.  Descending thresholds refine
+    # the split monotonically (fewer fast edges -> more components):
+    # keep the finest legal split without singleton partitions, falling
+    # back to the coarsest legal split.  Non-positive thresholds are
+    # skipped outright.
+    latencies = sorted(
+        {l.latency_ms for l in network.links() if l.latency_ms > 0}, reverse=True
+    )
+    coarsest: Optional[PartitionPlan] = None
+    finest_clean: Optional[PartitionPlan] = None
+    for threshold in latencies:
+        fast_edges = [
+            (l.a, l.b) for l in network.links() if l.latency_ms < threshold
+        ]
+        comps = _components(names, fast_edges)
+        if len(comps) < 2:
+            continue
+        groups = [(f"part{idx}", comp) for idx, comp in enumerate(comps)]
+        plan = _plan_from_groups(network, groups, f"min-cut:>={threshold:g}ms")
+        checked = _validate(plan)
+        if checked is None:
+            continue
+        if coarsest is None:
+            coarsest = checked
+        if all(len(c) > 1 for c in comps):
+            finest_clean = checked  # later thresholds are finer still
+    if finest_clean is not None:
+        return finest_clean
+    if coarsest is not None:
+        return coarsest
+
+    if require_split:
+        raise PartitionError(
+            "no legal split: every candidate cut includes a zero-latency link "
+            f"and no node-complete {credential!r} credential exists"
+        )
+    return _single_partition(network, "degenerate:no-cut")

@@ -1,0 +1,217 @@
+"""Public entry point: partition, spawn workers, collect, summarize.
+
+``run_parallel(..., workers=1)`` executes every logical process in the
+calling process through the identical protocol (no multiprocessing), so
+worker count is purely a *placement* decision: the partition plan, the
+event keys, the channel lookaheads and the message sequence numbers are
+all derived from the topology alone, which is what makes
+``result.signature()`` identical across workers=1/2/4 — the property
+the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..events import SimulationError
+from .lp import LogicalProcess, PartitionContext
+from .partition import PartitionPlan, partition_network
+from .worker import InlineRouter, drive, worker_main
+
+__all__ = ["ParallelRunResult", "run_parallel"]
+
+#: how long the coordinator waits for any single worker's result.
+RESULT_TIMEOUT_S = 300.0
+
+
+@dataclass
+class ParallelRunResult:
+    """Outcome of one parallel run, mergeable and signable.
+
+    ``partitions`` maps partition name to its logical process's result
+    dict (clock, event count, program counters, latency samples — every
+    observable outcome).  ``signature()`` hashes exactly those
+    observables, *excluding* wall time, so equal signatures mean equal
+    simulations.
+    """
+
+    workers_requested: int
+    workers_used: int
+    until_ms: float
+    method: str
+    min_lookahead_ms: float
+    partitions: Dict[str, Dict[str, Any]]
+    wall_s: float = 0.0
+
+    @property
+    def total_events(self) -> int:
+        return sum(p["events"] for p in self.partitions.values())
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.total_events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def merged_counters(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for p in self.partitions.values():
+            for key, val in p.get("counters", {}).items():
+                out[key] = out.get(key, 0) + val
+        return {k: out[k] for k in sorted(out)}
+
+    def latency_samples(self) -> List[float]:
+        """All end-to-end latency samples, ordered by partition name
+        then by each partition's deterministic execution order."""
+        samples: List[float] = []
+        for name in sorted(self.partitions):
+            samples.extend(self.partitions[name].get("latencies_ms", []))
+        return samples
+
+    def signature(self) -> str:
+        """sha256 over the observable outcomes (never wall time)."""
+        canonical = {
+            "until_ms": self.until_ms,
+            "method": self.method,
+            "partitions": {
+                name: self.partitions[name] for name in sorted(self.partitions)
+            },
+        }
+        blob = json.dumps(canonical, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "workers_requested": self.workers_requested,
+            "workers_used": self.workers_used,
+            "until_ms": self.until_ms,
+            "method": self.method,
+            "min_lookahead_ms": self.min_lookahead_ms,
+            "total_events": self.total_events,
+            "events_per_sec": round(self.events_per_sec, 1),
+            "wall_s": round(self.wall_s, 4),
+            "signature": self.signature(),
+            "partitions": self.partitions,
+        }
+
+
+def _mp_context():
+    """Prefer fork: workers warm-start by inheriting the parent image,
+    so the topology/program ship for free.  Fall back to spawn where
+    fork is unavailable (then everything must be picklable, which the
+    public surface already requires)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_parallel(
+    network: Any,
+    program: Callable[[PartitionContext, Any], None],
+    config: Any = None,
+    *,
+    workers: int = 1,
+    until: float,
+    plan: Optional[PartitionPlan] = None,
+    credential: str = "site",
+) -> ParallelRunResult:
+    """Run ``program`` over ``network`` on the conservative parallel
+    kernel and return a :class:`ParallelRunResult`.
+
+    ``program(ctx, config)`` is called once per partition at t=0 with
+    that partition's :class:`PartitionContext`; it must be a module-level
+    callable (workers may live in other processes) and fully seeded from
+    ``config`` so runs are deterministic.  ``until`` is exclusive,
+    exactly like ``Simulator.run``.
+    """
+    if until is None or until <= 0:
+        raise SimulationError(f"run_parallel needs a positive until, got {until!r}")
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    if plan is None:
+        plan = partition_network(network, credential=credential)
+    n_parts = len(plan)
+    n_workers = max(1, min(workers, n_parts))
+
+    start = time.perf_counter()
+    if n_workers == 1:
+        lps = {
+            rank: LogicalProcess(plan, rank, network, program, config, until)
+            for rank in range(n_parts)
+        }
+        drive(lps, InlineRouter(lps))
+        results = {rank: lp.result() for rank, lp in lps.items()}
+    else:
+        results = _run_multiprocess(
+            plan, network, program, config, until, n_workers
+        )
+    wall = time.perf_counter() - start
+
+    return ParallelRunResult(
+        workers_requested=workers,
+        workers_used=n_workers,
+        until_ms=float(until),
+        method=plan.method,
+        min_lookahead_ms=plan.min_lookahead_ms,
+        partitions={r["partition"]: r for r in results.values()},
+        wall_s=wall,
+    )
+
+
+def _run_multiprocess(
+    plan: PartitionPlan,
+    network: Any,
+    program: Callable,
+    config: Any,
+    until: float,
+    n_workers: int,
+) -> Dict[int, Dict[str, Any]]:
+    ctx = _mp_context()
+    # Round-robin placement: partition rank r lives on worker r % N.
+    # Placement is invisible to results — it only decides which channel
+    # traffic crosses a process boundary versus staying in-process.
+    worker_of = {rank: rank % n_workers for rank in range(len(plan))}
+    ranks_of: Dict[int, List[int]] = {w: [] for w in range(n_workers)}
+    for rank, w in worker_of.items():
+        ranks_of[w].append(rank)
+
+    inboxes = {w: ctx.Queue() for w in range(n_workers)}
+    result_queue = ctx.Queue()
+    procs = []
+    for w in range(n_workers):
+        peer_inboxes = {pw: q for pw, q in inboxes.items() if pw != w}
+        proc = ctx.Process(
+            target=worker_main,
+            args=(
+                w, ranks_of[w], plan, network, program, config, until,
+                worker_of, inboxes[w], peer_inboxes, result_queue,
+            ),
+            name=f"pdes-worker-{w}",
+            daemon=True,
+        )
+        proc.start()
+        procs.append(proc)
+
+    results: Dict[int, Dict[str, Any]] = {}
+    failure: Optional[str] = None
+    try:
+        for _ in range(n_workers):
+            worker_id, status, payload = result_queue.get(timeout=RESULT_TIMEOUT_S)
+            if status == "error":
+                failure = f"worker {worker_id} failed:\n{payload}"
+                break
+            results.update(payload)
+    except Exception as exc:  # queue.Empty or a dead coordinator pipe
+        failure = f"coordinator timed out collecting results: {exc!r}"
+    finally:
+        if failure is not None:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+        for proc in procs:
+            proc.join(timeout=30.0)
+    if failure is not None:
+        raise SimulationError(failure)
+    return results

@@ -1,0 +1,104 @@
+"""A reusable site-traffic workload for the parallel kernel.
+
+Module-level (picklable) program mirroring the shape of the paper's
+mail workload: every node in a partition runs a client loop — think
+time, CPU service, then a message to a local peer or (with configured
+probability) to a node in another site.  Remote deliveries complete
+hop-by-hop at the receiving site and record end-to-end latency; traffic
+for a partition beyond a direct channel is relayed onward at each
+boundary, exactly how the site gateways forward.
+
+Seeding is per ``(config.seed, node)`` so each client's random stream
+is a property of the node name alone — independent of partition count,
+worker count, or scheduling — which makes the whole workload's run
+signature reproducible across worker counts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from .channel import RemoteMessage
+from .lp import PartitionContext
+
+__all__ = ["TrafficConfig", "site_traffic_program"]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Knobs for :func:`site_traffic_program` (all deterministic)."""
+
+    seed: int = 0
+    messages_per_client: int = 100
+    #: probability a message targets a node outside this partition.
+    remote_fraction: float = 0.05
+    payload_bytes: int = 2_000
+    #: mean exponential think time between messages, ms.
+    think_mean_ms: float = 40.0
+    #: CPU work units burned on the client node per message.
+    cpu_work: float = 2.0
+    #: only nodes whose name contains this substring run client loops
+    #: (empty string = every node).
+    client_filter: str = "client"
+
+
+def site_traffic_program(ctx: PartitionContext, config: TrafficConfig) -> None:
+    """Install the workload on one partition: client loops + receive/relay."""
+    cfg = config or TrafficConfig()
+    ctx.on_message("traffic", _on_traffic)
+    for node in ctx.local_nodes:
+        if cfg.client_filter and cfg.client_filter not in node:
+            continue
+        ctx.process(_client_loop(ctx, cfg, node), name=f"client:{node}")
+
+
+def _client_loop(
+    ctx: PartitionContext, cfg: TrafficConfig, node: str
+) -> Generator[Any, Any, None]:
+    # random.Random seeds strings via SHA-512, so the stream depends on
+    # (seed, node) only — stable across processes and worker counts.
+    rng = random.Random(f"{cfg.seed}:{node}")
+    local_peers = [n for n in ctx.local_nodes if n != node]
+    remote_peers = list(ctx.remote_nodes)
+    for _ in range(cfg.messages_per_client):
+        yield ctx.sim.timeout(rng.expovariate(1.0 / cfg.think_mean_ms))
+        yield from ctx.nodes[node].execute(cfg.cpu_work)
+        draw = rng.random()  # always consumed: stream position is fixed
+        remote = bool(remote_peers) and draw < cfg.remote_fraction
+        if remote:
+            dest = remote_peers[rng.randrange(len(remote_peers))]
+            ctx.count("remote_sent")
+            yield from ctx.send_remote(
+                node, dest, cfg.payload_bytes, "traffic", (node, ctx.sim.now)
+            )
+        elif local_peers:
+            dest = local_peers[rng.randrange(len(local_peers))]
+            start = ctx.sim.now
+            yield from ctx.transfer_local(node, dest, cfg.payload_bytes)
+            ctx.record_latency(ctx.sim.now - start)
+            ctx.count("local_delivered")
+
+
+def _on_traffic(ctx: PartitionContext, msg: RemoteMessage) -> None:
+    if ctx.is_local(msg.dest):
+        ctx.process(_finish_delivery(ctx, msg), name=f"deliver:{msg.dest}")
+    else:
+        # Entered at a boundary node of an intermediate partition: relay
+        # onward toward the destination's own partition.
+        ctx.count("relayed")
+        ctx.process(
+            ctx.send_remote(msg.via, msg.dest, msg.size, "traffic", msg.payload),
+            name=f"relay:{msg.dest}",
+        )
+
+
+def _finish_delivery(
+    ctx: PartitionContext, msg: RemoteMessage
+) -> Generator[Any, Any, None]:
+    if msg.via != msg.dest:
+        yield from ctx.transfer_local(msg.via, msg.dest, msg.size)
+    _src, sent_at = msg.payload
+    ctx.record_latency(ctx.sim.now - sent_at)
+    ctx.count("remote_delivered")

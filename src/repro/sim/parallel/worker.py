@@ -1,0 +1,202 @@
+"""Worker processes and the null-message drive loop.
+
+One *worker* hosts one or more logical processes (round-robin when
+there are fewer workers than partitions) and runs :func:`drive`: a
+round-based loop that advances every hosted LP to its safe horizon,
+flushes outbound messages and grown adverts, and — when nothing moved
+and nothing is done — blocks on the worker's inbox until a peer's
+traffic raises a horizon.
+
+Workers are *persistent and warm-started*: the topology, the partition
+plan, and the program are shipped exactly once as process arguments
+(fork makes this a copy-on-write no-op); afterwards only timestamped
+events and tiny null messages cross process boundaries.  Each round
+batches everything bound for a given peer worker into one queue item,
+so synchronization costs O(active channels) puts per round, not one
+per message.
+
+The same :func:`drive` loop also powers the ``workers=1`` in-process
+mode through :class:`InlineRouter` — identical protocol, no queues —
+which is what makes cross-worker-count determinism testable cheaply.
+"""
+
+from __future__ import annotations
+
+import traceback
+from queue import Empty
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..events import SimulationError
+from .channel import Advert, RemoteMessage
+from .lp import LogicalProcess
+from .partition import PartitionPlan
+
+__all__ = ["InlineRouter", "QueueRouter", "drive", "worker_main"]
+
+#: give up if a worker sits quiescent-but-not-done this long (wall s).
+DEADLOCK_TIMEOUT_S = 60.0
+#: single blocking-poll slice, so deadlock accounting stays responsive.
+POLL_SLICE_S = 1.0
+
+
+class InlineRouter:
+    """Zero-copy router for colocated logical processes."""
+
+    def __init__(self, lps: Dict[int, LogicalProcess]) -> None:
+        self._lps = lps
+
+    def send_message(self, dst_rank: int, msg: RemoteMessage) -> None:
+        self._lps[dst_rank].observe_message(msg)
+
+    def send_advert(self, dst_rank: int, advert: Advert) -> None:
+        self._lps[dst_rank].observe_advert(advert)
+
+    def flush_round(self) -> None:  # nothing buffered
+        pass
+
+    def poll(self, block: bool) -> bool:
+        return False
+
+
+class QueueRouter:
+    """Routes channel traffic between workers over ``multiprocessing``
+    queues, delivering locally when the destination LP is colocated.
+
+    Outbound items are batched per destination worker per round; an
+    inbox item is a list of ``("m", rank, msg)`` / ``("a", rank, adv)``
+    tuples.  ``multiprocessing.Queue`` preserves per-producer FIFO
+    order, which the guarantee algebra relies on (a channel's clocks
+    arrive non-decreasing).
+    """
+
+    def __init__(
+        self,
+        lps: Dict[int, LogicalProcess],
+        worker_of: Dict[int, int],
+        inbox: Any,
+        peer_inboxes: Dict[int, Any],
+    ) -> None:
+        self._lps = lps
+        self._worker_of = worker_of
+        self._inbox = inbox
+        self._peer_inboxes = peer_inboxes
+        self._pending: Dict[int, List[Tuple]] = {}
+
+    def send_message(self, dst_rank: int, msg: RemoteMessage) -> None:
+        lp = self._lps.get(dst_rank)
+        if lp is not None:
+            lp.observe_message(msg)
+        else:
+            w = self._worker_of[dst_rank]
+            self._pending.setdefault(w, []).append(("m", dst_rank, msg))
+
+    def send_advert(self, dst_rank: int, advert: Advert) -> None:
+        lp = self._lps.get(dst_rank)
+        if lp is not None:
+            lp.observe_advert(advert)
+        else:
+            w = self._worker_of[dst_rank]
+            self._pending.setdefault(w, []).append(("a", dst_rank, advert))
+
+    def flush_round(self) -> None:
+        pending, self._pending = self._pending, {}
+        for w in sorted(pending):
+            self._peer_inboxes[w].put(pending[w])
+
+    def _deliver(self, batch: List[Tuple]) -> None:
+        for tag, dst_rank, item in batch:
+            if tag == "m":
+                self._lps[dst_rank].observe_message(item)
+            else:
+                self._lps[dst_rank].observe_advert(item)
+
+    def poll(self, block: bool) -> bool:
+        """Drain the inbox; optionally block for one slice first.
+        Returns True when anything was delivered."""
+        got = False
+        if block:
+            try:
+                self._deliver(self._inbox.get(timeout=POLL_SLICE_S))
+                got = True
+            except Empty:
+                return False
+        while True:
+            try:
+                self._deliver(self._inbox.get_nowait())
+                got = True
+            except Empty:
+                return got
+
+
+def drive(lps: Dict[int, LogicalProcess], router: Any) -> None:
+    """Run the conservative protocol over ``lps`` until all are done.
+
+    Each round: deliver pending ingress, advance every LP to its safe
+    horizon, flush its messages and (if grown) its advert.  Quiescence
+    with undone LPs means we must wait on peers; in inline mode — where
+    there are no peers — it means a protocol bug, and with positive
+    lookahead it cannot legally happen, so it raises.
+    """
+    idle_slices = 0
+    while True:
+        progressed = router.poll(block=False)
+        for rank in sorted(lps):
+            lp = lps[rank]
+            if lp.advance():
+                progressed = True
+            for dst_rank, msg in lp.take_outgoing():
+                router.send_message(dst_rank, msg)
+                progressed = True
+            advert = lp.take_advert()
+            if advert is not None:
+                for dst_rank in lp.plan.out_neighbors(rank):
+                    router.send_advert(dst_rank, advert)
+                progressed = True
+        router.flush_round()
+        if all(lp.done() for lp in lps.values()):
+            return
+        if progressed:
+            idle_slices = 0
+            continue
+        if not router.poll(block=True):
+            idle_slices += 1
+            if idle_slices * POLL_SLICE_S >= DEADLOCK_TIMEOUT_S:
+                stuck = {
+                    r: (lp.sim.now, lp.horizon())
+                    for r, lp in lps.items()
+                    if not lp.done()
+                }
+                raise SimulationError(
+                    f"parallel deadlock: no progress for "
+                    f"{DEADLOCK_TIMEOUT_S:.0f}s; stuck LPs "
+                    f"(rank: now, horizon) = {stuck}"
+                )
+        else:
+            idle_slices = 0
+
+
+def worker_main(
+    worker_id: int,
+    ranks: List[int],
+    plan: PartitionPlan,
+    network: Any,
+    program: Callable,
+    config: Any,
+    until: float,
+    worker_of: Dict[int, int],
+    inbox: Any,
+    peer_inboxes: Dict[int, Any],
+    result_queue: Any,
+) -> None:
+    """Entry point of one persistent worker process."""
+    try:
+        lps = {
+            rank: LogicalProcess(plan, rank, network, program, config, until)
+            for rank in ranks
+        }
+        router = QueueRouter(lps, worker_of, inbox, peer_inboxes)
+        drive(lps, router)
+        results = {rank: lp.result() for rank, lp in lps.items()}
+        result_queue.put((worker_id, "ok", results))
+    except BaseException:  # noqa: BLE001 - ship the traceback to the parent
+        result_queue.put((worker_id, "error", traceback.format_exc()))

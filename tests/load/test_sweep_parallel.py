@@ -1,0 +1,37 @@
+"""`run_load_sweep(parallel=N)`: cell farm-out without signature drift.
+
+Cells are embarrassingly parallel — each builds its own testbed from a
+derived seed — so a parallel sweep must reproduce the sequential sweep
+cell-for-cell: same order, same signatures, same grades.
+"""
+
+import pytest
+
+from repro.load import LoadConfig, run_load_sweep
+
+CONFIG = LoadConfig(duration_ms=1_500.0, drain_ms=3_000.0, n_users=200, seed=3)
+RATES = [20.0, 40.0]
+
+
+def _cell_view(sweep):
+    return [
+        (c.protection, c.offered_rate_per_s, c.signature, c.completed, c.failed)
+        for c in sweep.cells
+    ]
+
+
+def test_parallel_sweep_matches_sequential():
+    seq = run_load_sweep(RATES, modes=(False,), config=CONFIG)
+    par = run_load_sweep(RATES, modes=(False,), config=CONFIG, parallel=2)
+    assert _cell_view(par) == _cell_view(seq)
+
+
+def test_parallel_sweep_covers_both_modes():
+    sweep = run_load_sweep([20.0], modes=(False, True), config=CONFIG, parallel=2)
+    assert [c.protection for c in sweep.cells] == [False, True]
+
+
+def test_parallel_one_is_sequential_path():
+    seq = run_load_sweep([20.0], modes=(False,), config=CONFIG)
+    one = run_load_sweep([20.0], modes=(False,), config=CONFIG, parallel=1)
+    assert _cell_view(one) == _cell_view(seq)

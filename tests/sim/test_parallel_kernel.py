@@ -1,0 +1,181 @@
+"""Conservative parallel kernel: determinism, ordering, and physics.
+
+Three layers of assurance:
+
+1. **Engine tiebreaker** — the kernel heap orders equal-timestamp
+   events by ``(when, origin, seq)``, so merged remote events land in a
+   total, plan-determined order and sequential runs (origin 0 only)
+   keep exact FIFO schedule order.
+2. **Cross-worker determinism** — the acceptance criterion: identical
+   run signatures for workers 1/2/4 on the Figure 5 topology, per seed.
+3. **Analytic relay physics** — a hand-built three-partition line where
+   the end-to-end delivery time of a relayed message is computable on
+   paper (think + serialization + latency per hop).
+"""
+
+import pytest
+
+from repro.experiments.topology_fig5 import build_fig5_network
+from repro.network import Network
+from repro.sim import Injected, SimulationError, Simulator
+from repro.sim.parallel import TrafficConfig, run_parallel, site_traffic_program
+
+
+# -- engine tiebreaker ----------------------------------------------------
+
+
+def test_external_events_order_by_origin_then_seq():
+    """At one timestamp: local events (origin 0) first, then remote
+    origins ascending, then per-origin sequence numbers ascending —
+    regardless of arrival (push) order."""
+    sim = Simulator()
+    order = []
+
+    def local():
+        yield sim.timeout(5.0)
+        order.append("local")
+
+    sim.process(local())
+    # Push externals deliberately scrambled.
+    for origin, seq in ((2, 1), (1, 2), (1, 1)):
+        ev = Injected(sim, (origin, seq))
+        ev.add_callback(lambda e: order.append(e.payload))
+        sim.schedule_external(5.0, origin, seq, ev)
+    sim.run(until=10.0)
+    assert order == ["local", (1, 1), (1, 2), (2, 1)]
+
+
+def test_schedule_external_rejects_past_timestamps():
+    """The causality tripwire: a conservative bug that lets a remote
+    event slip behind the local clock must fail loudly, not silently
+    reorder history."""
+    sim = Simulator()
+
+    def spin():
+        yield sim.timeout(10.0)
+
+    sim.process(spin())
+    sim.run(until=20.0)
+    with pytest.raises(SimulationError, match="causality"):
+        sim.schedule_external(5.0, 1, 1, Injected(sim, None))
+
+
+def test_sequential_fifo_order_unchanged():
+    """Origin defaults to 0 and local seq is monotone, so equal-time
+    events still run in exact schedule order — the byte-identity
+    foundation for ``parallel=False``."""
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in range(6):
+        sim.process(proc(tag))
+    sim.run(until=2.0)
+    assert order == list(range(6))
+
+
+# -- cross-worker determinism ---------------------------------------------
+
+
+def _fig5_run(workers: int, seed: int):
+    topo = build_fig5_network(clients_per_site=2)
+    cfg = TrafficConfig(
+        seed=seed,
+        messages_per_client=20,
+        remote_fraction=0.2,
+        think_mean_ms=20.0,
+    )
+    return run_parallel(
+        topo.network, site_traffic_program, cfg, workers=workers, until=8_000.0
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_identical_signatures_across_worker_counts(seed):
+    runs = {w: _fig5_run(w, seed) for w in (1, 2, 4)}
+    sigs = {w: r.signature() for w, r in runs.items()}
+    assert sigs[1] == sigs[2] == sigs[4], sigs
+    # Placement facts: 3 site partitions cap the worker count at 3.
+    assert runs[1].workers_used == 1
+    assert runs[2].workers_used == 2
+    assert runs[4].workers_used == 3
+    assert runs[1].total_events == runs[4].total_events > 0
+    assert runs[1].merged_counters() == runs[4].merged_counters()
+    assert runs[1].merged_counters().get("remote_delivered", 0) > 0
+
+
+def test_different_seeds_differ():
+    """The signature actually discriminates: different traffic seeds
+    must not collide."""
+    assert _fig5_run(1, 0).signature() != _fig5_run(1, 1).signature()
+
+
+# -- analytic relay physics ------------------------------------------------
+
+#: 125 kB at 100 Mb/s serializes in exactly 10 ms.
+PROBE_BYTES = 125_000
+
+
+def _line_network() -> Network:
+    net = Network()
+    for name, site in (("a-node", "A"), ("b-node", "B"), ("c-node", "C")):
+        net.add_node(name, credentials={"site": site})
+    net.add_link("a-node", "b-node", latency_ms=100.0, bandwidth_mbps=100.0)
+    net.add_link("b-node", "c-node", latency_ms=150.0, bandwidth_mbps=100.0)
+    return net
+
+
+def test_relay_latency_matches_hand_computation():
+    """One probe a->c across a three-partition line, inline workers=1
+    (closures can't cross process boundaries, and don't need to).
+
+    Timeline: think 10 + serialize 10 + link 100 (arrive B at 120),
+    relay: serialize 10 + link 150 -> delivered at C at t=280 ms.
+    """
+    arrivals = []
+
+    def program(ctx, config):
+        def on_probe(c, msg):
+            if c.is_local(msg.dest):
+                c.count("delivered")
+                arrivals.append((c.partition.name, c.sim.now, msg.payload))
+            else:
+                c.count("relayed")
+                c.process(
+                    c.send_remote(msg.via, msg.dest, msg.size, "probe", msg.payload)
+                )
+
+        ctx.on_message("probe", on_probe)
+        if ctx.is_local("a-node"):
+
+            def sender():
+                yield ctx.sim.timeout(10.0)
+                yield from ctx.send_remote(
+                    "a-node", "c-node", PROBE_BYTES, "probe", ctx.sim.now
+                )
+
+            ctx.process(sender())
+
+    result = run_parallel(_line_network(), program, None, workers=1, until=2_000.0)
+    assert arrivals == [("C", 280.0, 10.0)]
+    counters = result.merged_counters()
+    assert counters["relayed"] == 1
+    assert counters["delivered"] == 1
+
+
+# -- argument validation ---------------------------------------------------
+
+
+def test_run_parallel_validates_arguments():
+    net = _line_network()
+
+    def noop(ctx, config):
+        pass
+
+    with pytest.raises(SimulationError, match="until"):
+        run_parallel(net, noop, None, workers=1, until=0.0)
+    with pytest.raises(SimulationError, match="workers"):
+        run_parallel(net, noop, None, workers=0, until=100.0)

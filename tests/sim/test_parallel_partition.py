@@ -1,0 +1,145 @@
+"""Property tests for the topology partitioner.
+
+The partitioner feeds the conservative kernel, so its invariants are
+load-bearing: every node in exactly one partition (coverage +
+disjointness), strictly positive lookahead on every channel (zero
+lookahead deadlocks null-message synchronization), and clean
+degeneration to a single partition — i.e. the sequential kernel — when
+no legal split exists.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.topology_fig5 import SITES, build_fig5_network
+from repro.network import BriteConfig, Network, generate_waxman
+from repro.sim.parallel import (
+    PartitionError,
+    TrafficConfig,
+    partition_network,
+    run_parallel,
+    site_traffic_program,
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 1000), st.integers(6, 24))
+def test_every_node_in_exactly_one_partition(seed, n_nodes):
+    """Coverage + disjointness over random Waxman topologies (BRITE
+    nodes carry a generated ``site`` credential)."""
+    net = generate_waxman(BriteConfig(n_nodes=n_nodes, seed=seed))
+    plan = partition_network(net)
+    all_nodes = sorted(net.node_names())
+    seen = [n for p in plan.partitions for n in p.nodes]
+    assert sorted(seen) == all_nodes  # every node exactly once
+    assert len(seen) == len(set(seen))
+    for p in plan.partitions:
+        for n in p.nodes:
+            assert plan.rank_of[n] == p.rank
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(0, 1000), st.integers(6, 24))
+def test_lookahead_strictly_positive(seed, n_nodes):
+    """Every channel of every multi-partition plan has lookahead > 0,
+    and every cut link's latency is at least the channel lookahead."""
+    net = generate_waxman(BriteConfig(n_nodes=n_nodes, seed=seed))
+    plan = partition_network(net)
+    if len(plan) > 1:
+        assert plan.min_lookahead_ms > 0
+        for value in plan.lookahead_ms.values():
+            assert value > 0
+        for cut in plan.cuts:
+            assert cut.latency_ms >= plan.lookahead_ms[(cut.src_rank, cut.dst_rank)]
+    else:
+        # Single partition: either a uniform credential or a degenerate
+        # collapse — both legal, both channel-free.
+        assert not plan.cuts
+        assert plan.min_lookahead_ms == float("inf")
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(1, 4))
+def test_fig5_partitions_by_site_credential(clients_per_site):
+    topo = build_fig5_network(clients_per_site=clients_per_site)
+    plan = partition_network(topo.network)
+    assert plan.method == "credential:site"
+    assert tuple(p.name for p in plan.partitions) == tuple(sorted(SITES))
+    # Channel lookaheads are the Figure 5 inter-site link latencies.
+    assert plan.min_lookahead_ms == 100.0
+    for name in topo.network.node_names():
+        assert name in plan.partitions[plan.rank_of[name]].nodes
+
+
+def _uniform_site_network() -> Network:
+    net = Network()
+    for i in range(4):
+        net.add_node(f"n{i}-client", credentials={"site": "solo"})
+    for i in range(3):
+        net.add_link(f"n{i}-client", f"n{i + 1}-client", latency_ms=1.0)
+    return net
+
+
+def test_uniform_credential_degrades_to_sequential_kernel():
+    """A single-site topology yields one partition, zero channels, and
+    run_parallel collapses to one in-process worker — the plain
+    sequential kernel (origin 0, no ingress, no null messages)."""
+    net = _uniform_site_network()
+    plan = partition_network(net)
+    assert len(plan) == 1
+    assert not plan.cuts
+    assert plan.min_lookahead_ms == float("inf")
+
+    cfg = TrafficConfig(seed=5, messages_per_client=10)
+    result = run_parallel(
+        net, site_traffic_program, cfg, workers=4, until=5_000.0
+    )
+    assert result.workers_used == 1  # capped at the partition count
+    [(name, part)] = result.partitions.items()
+    assert part["events"] > 0
+    assert part["messages_out"] == part["messages_in"] == 0
+    counters = result.merged_counters()
+    assert "remote_sent" not in counters
+    assert counters["local_delivered"] == 4 * 10
+
+
+def test_zero_latency_cut_rejected():
+    """A credential split whose only cut link has zero latency is not a
+    legal conservative plan: degenerate by default, PartitionError when
+    the caller demanded a split."""
+    net = Network()
+    net.add_node("a", credentials={"site": "east"})
+    net.add_node("b", credentials={"site": "west"})
+    net.add_link("a", "b", latency_ms=0.0)
+    plan = partition_network(net)
+    assert len(plan) == 1
+    assert plan.method.startswith("degenerate")
+    with pytest.raises(PartitionError):
+        partition_network(net, require_split=True)
+
+
+def test_min_cut_fallback_recovers_fig5_sites():
+    """Strip the site credentials from Figure 5: the latency min-cut
+    fallback still finds the three sites (threshold = 100 ms)."""
+    topo = build_fig5_network(clients_per_site=2)
+    stripped = Network()
+    for node in topo.network.nodes():
+        stripped.add_node(node.name, node.cpu_capacity)  # no credentials
+    for link in topo.network.links():
+        stripped.add_link(
+            link.a, link.b, link.latency_ms, link.bandwidth_mbps, link.secure
+        )
+    plan = partition_network(stripped)
+    assert plan.method.startswith("min-cut")
+    assert len(plan) == 3
+    assert plan.min_lookahead_ms == 100.0
+    by_site = partition_network(topo.network)
+    assert [p.nodes for p in plan.partitions] == [
+        p.nodes for p in by_site.partitions
+    ]
+
+
+def test_empty_network_raises():
+    with pytest.raises(PartitionError):
+        partition_network(Network())

@@ -1,0 +1,63 @@
+"""The `parallel` runtime knob: off means byte-identical, on means the
+conservative kernel is reachable from the Smock surface.
+
+Follows the repo's knob pattern (fast_path / overload_protection /
+autonomic): ``parallel=False`` constructs nothing at all, so sequential
+runs cannot be perturbed; ``parallel=N`` exposes
+``run_parallel_traffic`` which executes on fresh per-partition
+simulators and leaves the runtime's own simulator untouched.
+"""
+
+import pytest
+
+from repro.experiments.mail_setup import build_mail_testbed
+from repro.experiments.scenarios_fig7 import run_scenario
+from repro.sim.parallel import TrafficConfig
+
+
+def test_knob_off_constructs_nothing():
+    testbed = build_mail_testbed(clients_per_site=2)
+    assert testbed.runtime.parallel is None
+    with pytest.raises(RuntimeError, match="parallel"):
+        testbed.runtime.run_parallel_traffic(until=1_000.0)
+
+
+def test_knob_off_is_byte_identical_to_default():
+    """`parallel=False` must not perturb a sequential scenario run in
+    any observable way — the ScenarioResult is the full measurement
+    surface of the Figure 7 experiments."""
+    base = run_scenario("DS0", 1, clients_per_site=2, n_sends=5, n_receives=2)
+    off = run_scenario(
+        "DS0", 1, clients_per_site=2, n_sends=5, n_receives=2, parallel=False
+    )
+    on = run_scenario(
+        "DS0", 1, clients_per_site=2, n_sends=5, n_receives=2, parallel=2
+    )
+    assert base == off == on  # the knob only *adds* a surface
+
+
+def test_partition_plan_advisory():
+    testbed = build_mail_testbed(clients_per_site=2, parallel=2)
+    plan = testbed.runtime.transport.partition_plan()
+    assert plan.method == "credential:site"
+    assert len(plan) == 3
+    assert plan.min_lookahead_ms == 100.0
+
+
+def test_run_parallel_traffic_deterministic():
+    cfg = TrafficConfig(seed=2, messages_per_client=10, remote_fraction=0.2)
+
+    def one_run():
+        testbed = build_mail_testbed(clients_per_site=2, parallel=2)
+        runtime = testbed.runtime
+        clock_before = runtime.sim.now
+        result = runtime.run_parallel_traffic(cfg, until=4_000.0)
+        # Fresh per-partition simulators: the runtime's own clock and
+        # event heap stay untouched.
+        assert runtime.sim.now == clock_before
+        return result
+
+    first, second = one_run(), one_run()
+    assert first.signature() == second.signature()
+    assert first.workers_used == 2
+    assert first.total_events > 0
