@@ -5,27 +5,76 @@ workload, lets the recovery loop (heartbeat detection → reconcile →
 failover replan → proxy rebind) repair the deployment, and reports the
 availability the client observed plus the loop's latency decomposition:
 detection lag, and crash-to-rebind recovery time (MTTR).
+
+The control-plane cells at the bottom quantify the availability work
+(see ARCHITECTURE.md "control-plane availability"): the client-visible
+lookup-unavailability window with a singleton vs a replicated lookup
+when the lookup host dies, and the directory takeover MTTR when the
+journal-backed directory host dies.  The simulated numbers are
+deterministic and pinned exactly in ``BENCH_failover.json``; wall time
+is regression-guarded.  Refresh with
+``REPRO_WRITE_BENCH_BASELINE=1 pytest benchmarks/bench_failover.py``.
 """
+
+import json
+import os
+import pathlib
+import time
 
 import pytest
 
 from repro.experiments import build_mail_testbed
 from repro.faults import FaultInjector, FaultPlan
+from repro.network import NetworkError
+from repro.sim import FaultError
 from repro.obs import get_default_obs
 from repro.services.mail import WorkloadConfig, mail_workload
-from repro.smock import RetryPolicy
+from repro.smock import LookupError, LookupService, RetryPolicy
 
 OUTAGE_MS = 19_000.0  # crash at +1 s, restart at +20 s
 
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_failover.json"
+REGRESSION_FACTOR = 2.0
+_WRITE = os.environ.get("REPRO_WRITE_BENCH_BASELINE", "0") == "1"
 
-def run_chaos(with_faults=True, n_sends=60, n_receives=5, versioned=True):
+
+def _check_or_record(key: str, measured: dict) -> None:
+    """Pin the deterministic sim numbers exactly and regression-guard
+    ``wall_s``, or refresh both when REPRO_WRITE_BENCH_BASELINE=1."""
+    if _WRITE:
+        data = (
+            json.loads(BASELINE_PATH.read_text())
+            if BASELINE_PATH.exists() else {"current": {}}
+        )
+        data.setdefault("current", {})[key] = measured
+        BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
+        return
+    committed = json.loads(BASELINE_PATH.read_text())["current"][key]
+    for name, value in measured.items():
+        if name == "wall_s":
+            assert value < committed["wall_s"] * REGRESSION_FACTOR, (
+                f"{key}: {value:.3f}s is more than {REGRESSION_FACTOR}x "
+                f"slower than the committed {committed['wall_s']:.3f}s"
+            )
+        else:
+            assert value == committed[name], (
+                f"{key}.{name}: measured {value!r} != committed "
+                f"{committed[name]!r} — control-plane recovery physics "
+                f"changed; refresh with REPRO_WRITE_BENCH_BASELINE=1 if "
+                f"intended"
+            )
+
+
+def run_chaos(with_faults=True, n_sends=60, n_receives=5, versioned=True,
+              **testbed_kwargs):
     # Telemetry on everywhere in this file: the zero-overhead pair below
     # compares two runs that both carry the sampler, so its tick events
     # cancel out of the signature.
     tb = build_mail_testbed(clients_per_site=2, flush_policy="count:500",
                             algorithm="dp_chain",
                             versioned_coherence=versioned,
-                            telemetry_interval_ms=500.0)
+                            telemetry_interval_ms=500.0,
+                            **testbed_kwargs)
     rt = tb.runtime
     if with_faults:
         replanner = rt.enable_self_healing(heartbeat_interval_ms=250.0,
@@ -212,4 +261,147 @@ def test_versioning_zero_overhead_when_disabled(benchmark, report_lines):
         "partition tolerance: versioned coherence is byte-identical to "
         "the unversioned protocol on fault-free runs (zero overhead; "
         f"{sig_on[1]} events either way)"
+    )
+
+
+# -- control-plane availability cells ---------------------------------------
+
+def _lookup_unavailability_ms(lookup_hosts):
+    """Crash the first lookup host mid-run and measure the window (sim
+    ms from crash to first successful lookup) a Seattle client sees.
+
+    Both cells run the leased :class:`ReplicatedLookup` (a registry on
+    a dead host must not answer — the lease machinery is what models
+    that); only the host count differs.  The singleton is dark for the
+    whole outage plus one renewal interval (its purged registry is
+    re-created by the first post-restart heartbeat); a second replica
+    bounds the window at one probe retry."""
+    from repro.smock import LeaseConfig
+
+    tb = build_mail_testbed(clients_per_site=2, flush_policy="count:500",
+                            algorithm="dp_chain",
+                            lookup_hosts=list(lookup_hosts),
+                            lookup_leases=LeaseConfig(duration_ms=15_000.0))
+    rt = tb.runtime
+    sim = rt.sim
+    # The client and the surviving replica are both in Seattle: the
+    # probe path never transits the crashed San Diego gateway.
+    client = tb.client_nodes("seattle")[0]
+    rt.run(rt.lookup.lookup(client, name="mail"))  # warm: resolves fine
+    t_crash = sim.now + 1_000.0
+    FaultInjector(rt, FaultPlan.parse(
+        [f"crash:{lookup_hosts[0]}@{t_crash}",
+         f"restart:{lookup_hosts[0]}@{t_crash + OUTAGE_MS}"],
+        seed=3)).schedule()
+
+    recovered = {}
+
+    def probe():
+        yield sim.timeout(t_crash + 1.0 - sim.now)
+        while True:
+            attempt = sim.process(
+                rt.lookup.lookup(client, name="mail"), name="unavail-probe"
+            )
+            try:
+                yield sim.any_of([attempt, sim.timeout(2_000.0)])
+            except (NetworkError, FaultError, LookupError):
+                pass
+            if attempt.triggered and not attempt.failed:
+                recovered["at_ms"] = sim.now
+                return
+            yield sim.timeout(500.0)
+
+    proc = sim.process(probe(), name="unavail-probe-loop")
+    sim.run(until=t_crash + OUTAGE_MS + 30_000.0)
+    if hasattr(rt.lookup, "stop"):
+        rt.lookup.stop()
+    assert proc.triggered and not proc.failed, "probe never recovered"
+    return recovered["at_ms"] - t_crash
+
+
+def _directory_takeover_mttr_ms():
+    """Crash the journal-backed directory host and measure crash-to-
+    takeover time (detection + replan round + journal rebuild)."""
+    tb = build_mail_testbed(clients_per_site=2, flush_policy="count:500",
+                            algorithm="dp_chain",
+                            directory_journal=True,
+                            directory_host="seattle-gw")
+    rt = tb.runtime
+    rt.enable_self_healing(heartbeat_interval_ms=250.0, miss_threshold=3)
+    sim = rt.sim
+    t_crash = sim.now + 1_000.0
+    FaultInjector(rt, FaultPlan.parse(
+        [f"crash:seattle-gw@{t_crash}",
+         f"restart:seattle-gw@{t_crash + OUTAGE_MS}"], seed=3)).schedule()
+    sim.run(until=t_crash + 60_000.0)
+    rt.failure_detector.stop()
+    rt.monitor.stop()
+    assert rt.directory_takeovers, "directory host died but nobody took over"
+    takeover = rt.directory_takeovers[0]
+    assert takeover["crashed_host"] == "seattle-gw"
+    assert takeover["report"].consistent, takeover["report"].frontier_mismatches
+    return takeover["time_ms"] - t_crash, takeover
+
+
+def test_lookup_failover_window_and_directory_mttr(benchmark, report_lines):
+    """The headline control-plane cell: replicating the lookup turns a
+    ~20 s outage-long dark window into a sub-second failover, and the
+    journal-backed directory recovers within the detection budget."""
+
+    def run():
+        t0 = time.perf_counter()
+        singleton_ms = _lookup_unavailability_ms(["sandiego-gw"])
+        replicated_ms = _lookup_unavailability_ms(
+            ["sandiego-gw", "seattle-gw"]
+        )
+        mttr_ms, takeover = _directory_takeover_mttr_ms()
+        return {
+            "wall_s": round(time.perf_counter() - t0, 4),
+            "singleton_unavailable_ms": round(singleton_ms, 3),
+            "replicated_unavailable_ms": round(replicated_ms, 3),
+            "directory_mttr_ms": round(mttr_ms, 3),
+            "directory_new_host": takeover["new_host"],
+        }
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Physics, machine-independent: the singleton is dark for at least
+    # the outage; the replica bounds the window at ~one probe cycle; the
+    # takeover completes within the detection + replan budget.
+    assert measured["singleton_unavailable_ms"] >= OUTAGE_MS
+    assert measured["replicated_unavailable_ms"] < 3_000.0
+    assert measured["directory_mttr_ms"] < 10_000.0
+    assert measured["directory_new_host"] != "seattle-gw"
+    _check_or_record("control_plane", measured)
+    benchmark.extra_info.update(measured)
+    report_lines.append(
+        f"control plane: lookup dark window {OUTAGE_MS / 1000:.0f} s outage "
+        f"= {measured['singleton_unavailable_ms'] / 1000:.1f} s singleton vs "
+        f"{measured['replicated_unavailable_ms'] / 1000:.2f} s with one "
+        f"replica; directory takeover MTTR "
+        f"{measured['directory_mttr_ms'] / 1000:.2f} s "
+        f"(-> {measured['directory_new_host']})"
+    )
+
+
+def test_control_plane_knobs_zero_overhead_when_default(benchmark,
+                                                        report_lines):
+    """Explicit default knobs (`lookup_replicas=1`, leases off, journal
+    off) are byte-identical to omitting them, and resolve to the plain
+    singleton ``LookupService`` — the structural zero-overhead pin."""
+    def run_pair():
+        bare = run_chaos(with_faults=False, n_sends=30, n_receives=3)
+        knobbed = run_chaos(with_faults=False, n_sends=30, n_receives=3,
+                            lookup_replicas=1, lookup_leases=False,
+                            directory_journal=False)
+        return bare, knobbed
+
+    (bare, knobbed) = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    sig_bare = _fault_free_signature(bare[0], bare[2])
+    sig_knobbed = _fault_free_signature(knobbed[0], knobbed[2])
+    assert sig_bare == sig_knobbed, "default control-plane knobs leak events"
+    assert type(knobbed[0].lookup) is LookupService
+    assert knobbed[0].coherence.journal is None
+    report_lines.append(
+        "control plane: default knobs are byte-identical to their absence "
+        f"(plain LookupService, no journal; {sig_bare[1]} events either way)"
     )

@@ -393,6 +393,7 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
         load_users=args.load_users,
         overload_protection=args.overload_protection,
         autonomic=args.autonomic,
+        crash_control_plane=args.crash_control_plane,
     )
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     log.info(
@@ -471,6 +472,7 @@ def cmd_chaos_sweep(args: argparse.Namespace) -> int:
                         "stats": result.stats,
                         "workload_errors": result.workload_errors,
                         "flight_dropped": result.flight_dropped,
+                        "control_plane": result.control_plane,
                     },
                     fh,
                     indent=2,
@@ -667,6 +669,7 @@ def cmd_parallel_sim(args: argparse.Namespace) -> int:
     result = run_parallel(
         topo.network, site_traffic_program, config,
         workers=args.workers, until=args.until, plan=plan,
+        deadlock_timeout_s=args.deadlock_timeout,
     )
     counters = result.merged_counters()
     log.info(
@@ -683,6 +686,7 @@ def cmd_parallel_sim(args: argparse.Namespace) -> int:
         single = run_parallel(
             topo.network, site_traffic_program, config,
             workers=1, until=args.until, plan=plan,
+            deadlock_timeout_s=args.deadlock_timeout,
         )
         match = single.signature() == result.signature()
         artifact["determinism"] = {
@@ -924,6 +928,13 @@ def main(argv=None) -> int:
                    help="close the telemetry -> replanning loop per case "
                         "(load x fault x scale composite when combined with "
                         "--load-rate; implies a 500 ms telemetry sampler)")
+    p.add_argument("--crash-control-plane", action="store_true",
+                   help="additionally crash the framework's own brain: the "
+                        "lookup primary's host and the coherence-directory "
+                        "host each get a scripted crash+restart (implies "
+                        "two lookup replicas, 15 s leases, and the "
+                        "directory journal; adds the lookup-failover and "
+                        "directory-recovery invariants)")
     p.set_defaults(fn=cmd_chaos_sweep)
 
     p = sub.add_parser(
@@ -1015,6 +1026,11 @@ def main(argv=None) -> int:
     p.add_argument("--check-determinism", action="store_true",
                    help="re-run single-process and require identical "
                         "run signatures")
+    p.add_argument("--deadlock-timeout", type=float, default=60.0,
+                   metavar="S",
+                   help="per-worker no-progress tripwire in wall seconds "
+                        "(default 60); raise for legitimately slow "
+                        "workloads")
     p.add_argument("--json", metavar="PATH", default=None,
                    help="write the run artifact (plan, per-partition "
                         "results, signature) as JSON to PATH")

@@ -22,13 +22,13 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..experiments.mail_setup import build_mail_testbed
 from ..experiments.topology_fig5 import SITE_TRUST, SITES
-from ..faults import FaultInjector
+from ..faults import FaultInjector, FaultKind
 from ..network import NetworkError
 from ..obs import Observability, use_obs
 from ..services.mail import DEFAULT_USERS, WorkloadConfig, mail_workload
 from ..sim import FaultError
-from ..smock import RetryPolicy
-from .invariants import check_all
+from ..smock import LookupError, RetryPolicy
+from .invariants import check_all, check_directory_recovery, check_lookup_failover
 from .plangen import generate_fault_plan
 
 __all__ = [
@@ -89,6 +89,25 @@ class ChaosCaseConfig:
     #: load x fault x scale composite.  False keeps cases byte-identical
     #: to the autonomic-less harness.
     autonomic: Any = False
+    #: control-plane chaos: additionally crash the *brain* — the lookup
+    #: primary's host and the coherence-directory host — one scripted
+    #: crash+restart each, in their own fault slots (see
+    #: :func:`~repro.chaos.plangen.generate_fault_plan`).  Implies two
+    #: lookup replicas on the San Diego / Seattle gateways, 15 s leases
+    #: (long enough that one missed heartbeat plus one fault window
+    #: cannot falsely expire a live service), and the directory journal
+    #: on Seattle; schedules one re-lookup probe per site while the
+    #: lookup primary is down and evaluates the lookup-failover and
+    #: directory-recovery invariants.  ``False`` (default) keeps every
+    #: case byte-identical to the control-plane-less harness.
+    crash_control_plane: bool = False
+    #: control-plane runtime knobs, passed through when set explicitly;
+    #: ``crash_control_plane`` raises/overrides them with its own
+    #: replicated placement (it needs a surviving replica to fail over
+    #: to and a journal to recover from)
+    lookup_replicas: int = 1
+    lookup_leases: Any = False
+    directory_journal: bool = False
 
 
 @dataclass
@@ -113,6 +132,10 @@ class ChaosCaseResult:
     #: background-load outcome counters, populated when
     #: config.load_rate_per_s is set (load x fault composite)
     load: Optional[Dict[str, Any]] = None
+    #: control-plane outcome summary (lookups, failovers, reconnect
+    #: probes, directory takeovers), populated when
+    #: config.crash_control_plane is set
+    control_plane: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -124,6 +147,7 @@ def _signature(
     results: List[Any],
     violations: List[str],
     load: Optional[Dict[str, Any]] = None,
+    control_plane: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Hash every externally observable outcome of the run.
 
@@ -169,6 +193,9 @@ def _signature(
         # Only composites carry this key, so load-free signatures stay
         # comparable with historical ones.
         payload["load"] = load
+    if control_plane is not None:
+        # Same discipline: only crash_control_plane runs carry this key.
+        payload["control_plane"] = control_plane
     blob = json.dumps(payload, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()
 
@@ -206,6 +233,54 @@ def _final_sweep(runtime: Any) -> None:
         directory.reconcile(runtime.sim.now)
 
 
+def _reconnect_probe(
+    runtime: Any,
+    node: str,
+    start_ms: float,
+    deadline_ms: float,
+    record: Dict[str, Any],
+):
+    """Re-lookup the mail service from ``node`` until it succeeds.
+
+    Scheduled while the lookup primary's host is down: success means the
+    client rebound through a surviving replica.  Each attempt races a
+    2 s timeout; attempts retry every 500 ms until ``deadline_ms`` —
+    a probe whose own site gateway is the crashed host stays cut off
+    until the restart heals it, and must still get through before the
+    deadline.
+    """
+    sim = runtime.sim
+    if sim.now < start_ms:
+        yield sim.timeout(start_ms - sim.now)
+    attempts = 0
+    while True:
+        attempts += 1
+        attempt = sim.process(
+            runtime.lookup.lookup(node, name="mail"),
+            name=f"cp-reconnect:{node}",
+        )
+        try:
+            # any_of re-raises a failed child: a replica-host crash or a
+            # severed path surfaces here as FaultError/NetworkError.
+            yield sim.any_of([attempt, sim.timeout(2_000.0)])
+        except (NetworkError, FaultError, LookupError):
+            pass
+        if attempt.triggered and not attempt.failed:
+            record.update(ok=True, at_ms=sim.now, attempts=attempts)
+            return
+        if sim.now >= deadline_ms:
+            error = (
+                repr(attempt.value)
+                if attempt.triggered and attempt.failed
+                else "timed out"
+            )
+            record.update(
+                ok=False, at_ms=sim.now, attempts=attempts, error=error
+            )
+            return
+        yield sim.timeout(500.0)
+
+
 def run_chaos_case(
     seed: int, config: Optional[ChaosCaseConfig] = None
 ) -> ChaosCaseResult:
@@ -217,6 +292,25 @@ def run_chaos_case(
         from ..obs.flight import FlightRecorder
 
         flight = FlightRecorder(capacity=config.flight_capacity)
+    cp_mode = bool(config.crash_control_plane)
+    lookup_replicas = config.lookup_replicas
+    lookup_leases = config.lookup_leases
+    directory_journal = config.directory_journal
+    lookup_hosts = None
+    directory_host = None
+    if cp_mode:
+        from ..smock import LeaseConfig
+
+        # The brain moves off the mail primary's host: lookup replicas
+        # on the San Diego and Seattle gateways, directory on Seattle —
+        # all crashable without touching newyork-ms, which the
+        # durability invariants require to stay up.
+        lookup_hosts = ["sandiego-gw", "seattle-gw"]
+        directory_host = "seattle-gw"
+        lookup_replicas = max(2, lookup_replicas)
+        directory_journal = True
+        if not lookup_leases:
+            lookup_leases = LeaseConfig(duration_ms=15_000.0)
     with use_obs(obs):
         testbed = build_mail_testbed(
             clients_per_site=config.clients_per_site,
@@ -226,6 +320,11 @@ def run_chaos_case(
             flight=flight,
             overload_protection=config.overload_protection,
             autonomic=config.autonomic,
+            lookup_replicas=lookup_replicas,
+            lookup_hosts=lookup_hosts,
+            lookup_leases=lookup_leases,
+            directory_journal=directory_journal,
+            directory_host=directory_host,
         )
         runtime = testbed.runtime
         replanner = runtime.enable_self_healing(
@@ -256,11 +355,44 @@ def run_chaos_case(
             horizon_ms=config.horizon_ms,
             n_faults=config.n_faults,
             kinds=config.kinds,
+            control_plane_hosts=(
+                [lookup_hosts[0], directory_host] if cp_mode else None
+            ),
         )
         FaultInjector(runtime, plan).schedule()
         if flight is not None:
             for line in plan.describe():
                 flight.event("fault_scheduled", t0, spec=line)
+
+        # Control-plane chaos: record each scripted crash window and
+        # launch one re-lookup probe per site shortly after the lookup
+        # primary dies — proving clients rebind through the survivor.
+        cp_reconnects: List[Dict[str, Any]] = []
+        cp_outages: Dict[str, Any] = {}
+        cp_probes: List[Any] = []
+        if cp_mode:
+            for host in (lookup_hosts[0], directory_host):
+                crash = next(
+                    a for a in plan.sorted_actions()
+                    if a.kind == FaultKind.CRASH and a.node == host
+                )
+                restart = next(
+                    a for a in plan.sorted_actions()
+                    if a.kind == FaultKind.RESTART and a.node == host
+                )
+                cp_outages[host] = (crash.at_ms, restart.at_ms)
+            probe_at = cp_outages[lookup_hosts[0]][0] + 1_500.0
+            probe_deadline = probe_at + 30_000.0
+            for site in SITES:
+                node = testbed.client_nodes(site)[0]
+                record: Dict[str, Any] = {"site": site, "node": node}
+                cp_reconnects.append(record)
+                cp_probes.append(runtime.sim.process(
+                    _reconnect_probe(
+                        runtime, node, probe_at, probe_deadline, record
+                    ),
+                    name=f"cp-probe:{site}",
+                ))
 
         users = [user for _s, user, _p in proxies]
         procs = []
@@ -326,11 +458,17 @@ def run_chaos_case(
         while runtime.sim.now < deadline:
             if runtime.sim.now >= quiesce_at and all(
                 p.triggered for p in procs
+            ) and all(
+                p.triggered for p in cp_probes
             ) and (load_driver is None or load_driver.drained):
                 break
             runtime.sim.run(until=min(runtime.sim.now + 5_000.0, deadline))
         runtime.failure_detector.stop()
         runtime.monitor.stop()
+        if hasattr(runtime.lookup, "stop"):
+            # The lease-renewal loop is perpetual; stop it so the final
+            # sweep's bounded runs see a quiescing event list.
+            runtime.lookup.stop()
         _final_sweep(runtime)
 
         finished = all(p.triggered and not p.failed for p in procs)
@@ -352,6 +490,11 @@ def run_chaos_case(
         violations = [] if not finished else check_all(
             runtime, replanner, acked, attempted
         )
+        if finished and cp_mode:
+            violations += check_lookup_failover(
+                runtime, cp_reconnects, cp_outages
+            )
+            violations += check_directory_recovery(runtime, directory_host)
         if not finished:
             for p in procs:
                 if not p.triggered:
@@ -376,6 +519,34 @@ def run_chaos_case(
                 spec, obs.metrics, coherence_stats=runtime.coherence.stats
             ).to_dict()
 
+        cp_summary = None
+        if cp_mode:
+            journal = runtime.coherence.journal
+            cp_summary = {
+                "lookups": runtime.lookup.lookups,
+                "failovers": runtime.lookup.failovers,
+                "reregistrations": runtime.lookup.reregistrations,
+                "reconnects": [
+                    [
+                        r["site"], r["node"], bool(r.get("ok")),
+                        r.get("at_ms"), r.get("attempts"),
+                    ]
+                    for r in cp_reconnects
+                ],
+                "takeovers": [
+                    [
+                        t["time_ms"], t["crashed_host"], t["new_host"],
+                        t["report"].frontiers_rebuilt,
+                        len(t["report"].frontier_mismatches),
+                    ]
+                    for t in runtime.directory_takeovers
+                ],
+                "journal_records": len(journal) if journal is not None else 0,
+                "journal_recoveries": (
+                    journal.recoveries if journal is not None else 0
+                ),
+            }
+
         st = runtime.coherence.stats
         load_summary = None
         if load_driver is not None:
@@ -395,7 +566,10 @@ def run_chaos_case(
             seed=seed,
             plan=plan.describe(),
             violations=violations,
-            signature=_signature(runtime, results, violations, load=load_summary),
+            signature=_signature(
+                runtime, results, violations,
+                load=load_summary, control_plane=cp_summary,
+            ),
             workload_errors=errors,
             acked_sends=acked,
             attempted_sends=attempted,
@@ -427,6 +601,7 @@ def run_chaos_case(
             flight_dropped=flight.dropped if flight is not None else 0,
             slo_report=slo_report,
             load=load_summary,
+            control_plane=cp_summary,
         )
 
 

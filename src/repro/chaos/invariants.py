@@ -14,6 +14,13 @@ anti-entropy sweep), and only then asks:
   lost buffer remains unreconciled.
 - **rebinding** — every tracked client binding points at a fully
   installed chain of live instances on up nodes.
+- **lookup failover** (control-plane chaos only) — every re-lookup
+  probe rebound through a *surviving* lookup replica, no lookup was
+  ever served by a replica whose host was inside its crash window, and
+  the failover path was actually exercised.
+- **directory recovery** (control-plane chaos only) — the directory
+  host's death produced a journal-driven takeover whose rebuilt
+  version-vector frontiers match the pre-crash directory's exactly.
 
 Determinism (same seed ⇒ identical run signature) is checked at the
 harness level by running the case twice — see
@@ -22,12 +29,14 @@ harness level by running the case twice — see
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Set
+from typing import Any, Dict, List, Set, Tuple
 
 __all__ = [
     "check_durability",
     "check_convergence",
     "check_rebinding",
+    "check_lookup_failover",
+    "check_directory_recovery",
     "check_all",
 ]
 
@@ -136,6 +145,81 @@ def check_rebinding(runtime: Any, replanner: Any) -> List[str]:
                     f"rebinding: {client} bound to {instance.label} on a "
                     f"down host"
                 )
+    return violations
+
+
+def check_lookup_failover(
+    runtime: Any,
+    reconnects: List[Dict[str, Any]],
+    outages: Dict[str, Tuple[float, float]],
+) -> List[str]:
+    """Clients rebound through a surviving lookup replica.
+
+    ``reconnects`` are the harness's re-lookup probe records (one per
+    site, scheduled while the lookup primary is down); ``outages`` maps
+    each crashed control-plane host to its ``(crash_ms, restart_ms)``
+    window from the fault plan.
+    """
+    violations: List[str] = []
+    lookup = runtime.lookup
+    log = getattr(lookup, "lookup_log", None)
+    if log is None:
+        return ["lookup-failover: runtime is not running a replicated lookup"]
+    for rec in reconnects:
+        if not rec.get("ok"):
+            violations.append(
+                f"lookup-failover: client on {rec['node']} never rebound "
+                f"({rec.get('error', 'no attempt recorded')})"
+            )
+    for host in sorted(outages):
+        start, end = outages[host]
+        served = [
+            t for t, _client, serving in log
+            if serving == host and start <= t < end
+        ]
+        if served:
+            violations.append(
+                f"lookup-failover: {len(served)} lookup(s) served by {host} "
+                f"inside its crash window [{start:.0f}ms, {end:.0f}ms)"
+            )
+    if not lookup.failovers:
+        violations.append(
+            "lookup-failover: the lookup primary crashed but no lookup "
+            "ever failed over to a surviving replica"
+        )
+    return violations
+
+
+def check_directory_recovery(runtime: Any, crashed_host: str) -> List[str]:
+    """The directory host's death produced a consistent takeover."""
+    takeovers = [
+        t for t in getattr(runtime, "directory_takeovers", [])
+        if t["crashed_host"] == crashed_host
+    ]
+    if not takeovers:
+        return [
+            f"directory-recovery: {crashed_host} crashed but no directory "
+            f"takeover was recorded"
+        ]
+    violations: List[str] = []
+    for takeover in takeovers:
+        report = takeover["report"]
+        if report.frontier_mismatches:
+            violations.append(
+                f"directory-recovery: takeover at "
+                f"t={takeover['time_ms']:.0f}ms rebuilt divergent frontiers: "
+                f"{report.frontier_mismatches}"
+            )
+        if takeover["new_host"] == crashed_host:
+            violations.append(
+                f"directory-recovery: takeover re-elected the crashed host "
+                f"{crashed_host}"
+            )
+    if getattr(runtime.coherence, "journal", None) is None:
+        violations.append(
+            "directory-recovery: recovered directory has no journal (a "
+            "second crash would be unrecoverable)"
+        )
     return violations
 
 

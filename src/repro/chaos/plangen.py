@@ -76,14 +76,25 @@ def generate_fault_plan(
     horizon_ms: float = 60_000.0,
     n_faults: int = 4,
     kinds: Optional[Sequence[str]] = None,
+    control_plane_hosts: Optional[Sequence[str]] = None,
 ) -> FaultPlan:
     """Generate a reproducible fault schedule in ``[t0, t0 + horizon)``.
 
-    The horizon is carved into ``n_faults`` equal slots; fault *i* lives
-    entirely inside slot *i* (injection plus heal/restart), so plans are
+    The horizon is carved into equal slots; fault *i* lives entirely
+    inside slot *i* (injection plus heal/restart), so plans are
     overlap-free and each fault is followed by fault-free time in which
     detection, replanning, and anti-entropy can run.  ``kinds`` narrows
     the menu (e.g. ``["crash"]`` for a crash-only sweep).
+
+    ``control_plane_hosts`` opts into crashing the brain: each named
+    host (the lookup primary, the directory host) gets one *scripted*
+    crash+restart pair in its own slot, spread evenly through the
+    horizon — so a plan always exercises lookup failover and directory
+    takeover exactly once per host, at a seed-independent point in the
+    schedule, while the random faults keep drawing around them.  The
+    scripted hosts are excluded from the random crash population: their
+    crashes must not overlap their own recovery.  ``None`` (default)
+    leaves the plan byte-identical to before the knob existed.
     """
     if n_faults < 1:
         raise ValueError("n_faults must be >= 1")
@@ -104,14 +115,48 @@ def generate_fault_plan(
         for b in SITES[i + 1:]
     ]
 
+    cp_hosts = list(control_plane_hosts or ())
+    n_slots = n_faults + len(cp_hosts)
+    # Evenly interleave the scripted control-plane slots between the
+    # random ones: host i takes slot (i+1)*n/(k+1).
+    scripted = {
+        (i + 1) * n_slots // (len(cp_hosts) + 1): host
+        for i, host in enumerate(cp_hosts)
+    }
+    if len(scripted) != len(cp_hosts):
+        raise ValueError(
+            f"{len(cp_hosts)} control-plane hosts collide in "
+            f"{n_slots} slots; raise n_faults"
+        )
+    if cp_hosts:
+        gateways = [g for g in gateways if g not in set(cp_hosts)]
+        if not gateways:
+            population = [k for k in population if k != FaultKind.CRASH]
+        if not population:
+            raise ValueError(
+                "control_plane_hosts covers every gateway and the menu "
+                "is crash-only: nothing left to draw randomly"
+            )
+
     plan = FaultPlan(seed=seed)
-    slot = horizon_ms / n_faults
-    for i in range(n_faults):
-        kind = rng.choice(population)
+    slot = horizon_ms / n_slots
+    for i in range(n_slots):
+        scripted_host = scripted.get(i)
+        kind = (
+            FaultKind.CRASH if scripted_host is not None
+            else rng.choice(population)
+        )
         start = t0 + i * slot + rng.uniform(0.05, 0.25) * slot
         duration = rng.uniform(0.3, 0.6) * slot
         end = start + duration
-        if kind == FaultKind.CRASH:
+        if scripted_host is not None:
+            plan.add(FaultAction(
+                kind=FaultKind.CRASH, at_ms=start, node=scripted_host,
+            ))
+            plan.add(FaultAction(
+                kind=FaultKind.RESTART, at_ms=end, node=scripted_host,
+            ))
+        elif kind == FaultKind.CRASH:
             node = rng.choice(gateways)
             plan.add(FaultAction(kind=FaultKind.CRASH, at_ms=start, node=node))
             plan.add(FaultAction(kind=FaultKind.RESTART, at_ms=end, node=node))

@@ -2,6 +2,7 @@
 
 from .conflicts import AttributeConflictMap, ConflictMap, Update, ViewConfig
 from .directory import CoherenceDirectory, CoherenceStats, ReplicaEntry
+from .journal import DirectoryJournal, RecoveryReport, recover_directory
 from .policies import (
     CountPolicy,
     FlushPolicy,
@@ -21,6 +22,9 @@ __all__ = [
     "CoherenceDirectory",
     "CoherenceStats",
     "ReplicaEntry",
+    "DirectoryJournal",
+    "RecoveryReport",
+    "recover_directory",
     "ConflictMap",
     "AttributeConflictMap",
     "Update",

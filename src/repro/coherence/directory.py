@@ -102,6 +102,7 @@ class CoherenceDirectory:
         batch_propagation: bool = True,
         versioned: bool = True,
         reconcile_policy: Optional[ReconcilePolicy] = None,
+        journal: Optional[Any] = None,
     ) -> None:
         self.conflict_map = conflict_map or ConflictMap()
         self._primaries: Dict[str, Any] = {}
@@ -126,6 +127,12 @@ class CoherenceDirectory:
         self.versioned = versioned
         #: conflict resolution for anti-entropy replays (LWW by sim time)
         self.reconcile_policy = reconcile_policy or LastWriterWins()
+        #: optional append-only journal of registrations, frontier
+        #: admissions and anti-entropy stashes (see
+        #: :mod:`repro.coherence.journal`) from which a successor
+        #: directory rebuilds after this one's host crashes.  ``None``
+        #: (the default) skips every append — zero cost, zero events.
+        self.journal = journal
         #: applied-version frontiers, one per applying store: the primary
         #: of each family keys as ``("primary", family)``, intermediate
         #: replicas as ``("replica", replica_id)``.
@@ -152,6 +159,8 @@ class CoherenceDirectory:
     def register_primary(self, family: str, host: Any) -> None:
         """Record the authoritative instance of a component family."""
         self._primaries[family] = host
+        if self.journal is not None:
+            self.journal.record_primary(family)
 
     def primary_of(self, family: str) -> Optional[Any]:
         return self._primaries.get(family)
@@ -176,6 +185,8 @@ class CoherenceDirectory:
         self._next_id += 1
         self._replicas[entry.replica_id] = entry
         self._by_family.setdefault(family, []).append(entry.replica_id)
+        if self.journal is not None:
+            self.journal.record_replica(entry.replica_id, family, config)
         return entry
 
     def unregister_replica(self, replica_id: int) -> None:
@@ -195,6 +206,8 @@ class CoherenceDirectory:
         # Tombstone so a flush that was in flight when the replica was
         # purged can still requeue its batch into the lost ledger.
         self._retired_families[replica_id] = entry.family
+        if self.journal is not None:
+            self.journal.record_unregister(replica_id, entry.family)
 
     def replicas_of(self, family: str) -> List[ReplicaEntry]:
         return [self._replicas[i] for i in self._by_family.get(family, ())]
@@ -280,6 +293,8 @@ class CoherenceDirectory:
                 held[1].extend(batch)
             else:
                 self._lost_buffers[replica_id] = (entry.family, list(batch))
+            if self.journal is not None:
+                self.journal.record_stash(replica_id, entry.family, batch)
         return batch, units
 
     @property
@@ -306,6 +321,8 @@ class CoherenceDirectory:
         if not self.versioned or update.origin is None:
             return True
         if self.frontier(applier).admit(update.origin, update.seq):
+            if self.journal is not None:
+                self.journal.record_admit(applier, update.origin, update.seq)
             return True
         self.stats.duplicates_rejected += 1
         m = self.obs.metrics
@@ -341,6 +358,8 @@ class CoherenceDirectory:
         m = self.obs.metrics
         for replica_id in sorted(self._lost_buffers):
             family, batch = self._lost_buffers.pop(replica_id)
+            if self.journal is not None:
+                self.journal.record_reconciled(replica_id)
             primary = self._primaries.get(family)
             report = ReconcileReport(
                 family=family, replica_id=replica_id, recovered=len(batch)
@@ -357,6 +376,10 @@ class CoherenceDirectory:
             for update in delta:
                 if update.origin is not None:
                     frontier.admit(update.origin, update.seq)
+                    if self.journal is not None:
+                        self.journal.record_admit(
+                            ("primary", family), update.origin, update.seq
+                        )
                 outcome = primary.apply_reconciled(update, self.reconcile_policy)
                 report.note(outcome)
                 if outcome == "conflict":
@@ -406,6 +429,8 @@ class CoherenceDirectory:
                     held[1].extend(batch)
                 else:
                     self._lost_buffers[replica_id] = (family, list(batch))
+                if self.journal is not None:
+                    self.journal.record_stash(replica_id, family, batch)
             return
         entry.pending = batch + entry.pending
         entry.pending_units += sum(u.multiplicity for u in batch)

@@ -60,6 +60,11 @@ def build_mail_testbed(
     overload_protection: Any = False,
     autonomic: Any = False,
     parallel: Any = False,
+    lookup_replicas: int = 1,
+    lookup_hosts=None,
+    lookup_leases: Any = False,
+    directory_journal: bool = False,
+    directory_host: Optional[str] = None,
 ) -> MailTestbed:
     """The standard case-study testbed.
 
@@ -103,6 +108,13 @@ def build_mail_testbed(
     (default) constructs nothing — byte-identical runs — while an int N
     enables ``runtime.run_parallel_traffic`` on N conservative worker
     processes (see :mod:`repro.sim.parallel`).
+
+    ``lookup_replicas`` / ``lookup_hosts`` / ``lookup_leases`` /
+    ``directory_journal`` / ``directory_host`` pass through to
+    :class:`SmockRuntime`'s control-plane availability knobs (see
+    ARCHITECTURE.md "control-plane availability"): the defaults keep
+    the singleton lookup on ``newyork-ms`` with immortal registrations
+    and an unjournaled directory, byte-identical to before the feature.
     """
     spec = build_mail_spec()
     if node_cpu is None:
@@ -139,6 +151,11 @@ def build_mail_testbed(
         overload_protection=overload_protection,
         autonomic=autonomic,
         parallel=parallel,
+        lookup_replicas=lookup_replicas,
+        lookup_hosts=lookup_hosts,
+        lookup_leases=lookup_leases,
+        directory_journal=directory_journal,
+        directory_host=directory_host,
     )
     runtime.service_state["mail_users"] = tuple(users)
     for name, cls in MAIL_COMPONENT_CLASSES.items():

@@ -21,7 +21,7 @@ reproducible.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
 from ..obs import Observability, resolve_obs
 from .events import AllOf, AnyOf, Event, SimulationError, Timeout
@@ -319,6 +319,7 @@ class Simulator:
         until: float,
         plan: Any = None,
         credential: str = "site",
+        deadlock_timeout_s: Optional[float] = None,
     ) -> Any:
         """Run ``program`` over ``network`` on the conservative parallel
         kernel (:mod:`repro.sim.parallel`): one logical process per
@@ -326,11 +327,15 @@ class Simulator:
         synchronized by null-message lookahead.  ``workers=1`` runs every
         partition in this process (no multiprocessing) but through the
         same partitioned protocol, so results are identical for any
-        worker count.  Returns a
+        worker count.  ``deadlock_timeout_s`` tunes the per-worker
+        no-progress tripwire (default 60 wall seconds).  Returns a
         :class:`repro.sim.parallel.ParallelRunResult`.
         """
         from .parallel import run_parallel as _run_parallel
 
+        kwargs: Dict[str, Any] = {}
+        if deadlock_timeout_s is not None:
+            kwargs["deadlock_timeout_s"] = deadlock_timeout_s
         return _run_parallel(
             network,
             program,
@@ -339,6 +344,7 @@ class Simulator:
             until=until,
             plan=plan,
             credential=credential,
+            **kwargs,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -21,7 +21,7 @@ from typing import Any, Callable, Dict, List, Optional
 from ..events import SimulationError
 from .lp import LogicalProcess, PartitionContext
 from .partition import PartitionPlan, partition_network
-from .worker import InlineRouter, drive, worker_main
+from .worker import DEADLOCK_TIMEOUT_S, InlineRouter, drive, worker_main
 
 __all__ = ["ParallelRunResult", "run_parallel"]
 
@@ -116,6 +116,7 @@ def run_parallel(
     until: float,
     plan: Optional[PartitionPlan] = None,
     credential: str = "site",
+    deadlock_timeout_s: float = DEADLOCK_TIMEOUT_S,
 ) -> ParallelRunResult:
     """Run ``program`` over ``network`` on the conservative parallel
     kernel and return a :class:`ParallelRunResult`.
@@ -124,7 +125,9 @@ def run_parallel(
     that partition's :class:`PartitionContext`; it must be a module-level
     callable (workers may live in other processes) and fully seeded from
     ``config`` so runs are deterministic.  ``until`` is exclusive,
-    exactly like ``Simulator.run``.
+    exactly like ``Simulator.run``.  ``deadlock_timeout_s`` sets the
+    per-worker no-progress tripwire (wall seconds); raise it for
+    legitimately slow workloads.
     """
     if until is None or until <= 0:
         raise SimulationError(f"run_parallel needs a positive until, got {until!r}")
@@ -141,11 +144,12 @@ def run_parallel(
             rank: LogicalProcess(plan, rank, network, program, config, until)
             for rank in range(n_parts)
         }
-        drive(lps, InlineRouter(lps))
+        drive(lps, InlineRouter(lps), deadlock_timeout_s)
         results = {rank: lp.result() for rank, lp in lps.items()}
     else:
         results = _run_multiprocess(
-            plan, network, program, config, until, n_workers
+            plan, network, program, config, until, n_workers,
+            deadlock_timeout_s=deadlock_timeout_s,
         )
     wall = time.perf_counter() - start
 
@@ -167,6 +171,7 @@ def _run_multiprocess(
     config: Any,
     until: float,
     n_workers: int,
+    deadlock_timeout_s: float = DEADLOCK_TIMEOUT_S,
 ) -> Dict[int, Dict[str, Any]]:
     ctx = _mp_context()
     # Round-robin placement: partition rank r lives on worker r % N.
@@ -187,6 +192,7 @@ def _run_multiprocess(
             args=(
                 w, ranks_of[w], plan, network, program, config, until,
                 worker_of, inboxes[w], peer_inboxes, result_queue,
+                deadlock_timeout_s,
             ),
             name=f"pdes-worker-{w}",
             daemon=True,

@@ -128,14 +128,19 @@ class QueueRouter:
                 return got
 
 
-def drive(lps: Dict[int, LogicalProcess], router: Any) -> None:
+def drive(
+    lps: Dict[int, LogicalProcess],
+    router: Any,
+    deadlock_timeout_s: float = DEADLOCK_TIMEOUT_S,
+) -> None:
     """Run the conservative protocol over ``lps`` until all are done.
 
     Each round: deliver pending ingress, advance every LP to its safe
     horizon, flush its messages and (if grown) its advert.  Quiescence
     with undone LPs means we must wait on peers; in inline mode — where
     there are no peers — it means a protocol bug, and with positive
-    lookahead it cannot legally happen, so it raises.
+    lookahead it cannot legally happen, so it raises after
+    ``deadlock_timeout_s`` wall seconds without progress.
     """
     idle_slices = 0
     while True:
@@ -160,16 +165,19 @@ def drive(lps: Dict[int, LogicalProcess], router: Any) -> None:
             continue
         if not router.poll(block=True):
             idle_slices += 1
-            if idle_slices * POLL_SLICE_S >= DEADLOCK_TIMEOUT_S:
+            if idle_slices * POLL_SLICE_S >= deadlock_timeout_s:
                 stuck = {
-                    r: (lp.sim.now, lp.horizon())
+                    lp.plan.partitions[r].name: (lp.sim.now, lp.horizon())
                     for r, lp in lps.items()
                     if not lp.done()
                 }
                 raise SimulationError(
                     f"parallel deadlock: no progress for "
-                    f"{DEADLOCK_TIMEOUT_S:.0f}s; stuck LPs "
-                    f"(rank: now, horizon) = {stuck}"
+                    f"{deadlock_timeout_s:.0f}s; stalled partitions "
+                    f"(name: now, horizon) = {stuck}; if the workload is "
+                    f"legitimately slow, raise the tripwire via "
+                    f"run_parallel(..., deadlock_timeout_s=...) or "
+                    f"`parallel-sim --deadlock-timeout`"
                 )
         else:
             idle_slices = 0
@@ -187,6 +195,7 @@ def worker_main(
     inbox: Any,
     peer_inboxes: Dict[int, Any],
     result_queue: Any,
+    deadlock_timeout_s: float = DEADLOCK_TIMEOUT_S,
 ) -> None:
     """Entry point of one persistent worker process."""
     try:
@@ -195,7 +204,7 @@ def worker_main(
             for rank in ranks
         }
         router = QueueRouter(lps, worker_of, inbox, peer_inboxes)
-        drive(lps, router)
+        drive(lps, router, deadlock_timeout_s)
         results = {rank: lp.result() for rank, lp in lps.items()}
         result_queue.put((worker_id, "ok", results))
     except BaseException:  # noqa: BLE001 - ship the traceback to the parent

@@ -4,7 +4,8 @@ wrappers, deployment execution, and the runtime facade."""
 from .bundle import ServiceBundle
 from .component import ForwardingComponent, RuntimeComponent, ServerStub
 from .deployment import Deployer, DeploymentError, DeploymentRecord
-from .lookup import LookupService, ServiceRegistration
+from .leases import Lease, LeaseConfig, ReplicatedLookup
+from .lookup import LookupError, LookupService, ServiceRegistration
 from .messages import RequestError, ServiceRequest, ServiceResponse
 from .overload import (
     CircuitBreaker,
@@ -29,7 +30,11 @@ __all__ = [
     "ServiceResponse",
     "RequestError",
     "LookupService",
+    "LookupError",
     "ServiceRegistration",
+    "Lease",
+    "LeaseConfig",
+    "ReplicatedLookup",
     "GenericProxy",
     "ServiceProxy",
     "BindRecord",

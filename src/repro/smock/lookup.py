@@ -8,20 +8,37 @@ attribute-based lookup service."
 Registrations carry free-form attribute dictionaries; lookups match by
 attribute subset.  A successful lookup *downloads* the proxy code to the
 client's node (simulated transfer from the lookup host).
+
+Registrations are optionally *leased* in the Jini sense (see
+:mod:`repro.smock.leases`): when ``lease_config`` is set the service
+must renew periodically or its entry is purged and lookups raise
+:class:`LookupError`.  With leases off (the default) nothing changes —
+entries are immortal, exactly as before.
+
+Re-registering an existing name is a *renewal*, not a silent overwrite:
+the existing registration object is kept (live proxies hold references
+to it), its attributes/payload are refreshed, its lease (if any) is
+extended, and the event is counted (``smock.lookup.reregistrations``)
+and logged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from ..obs import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .leases import Lease, LeaseConfig
     from .proxy import GenericProxy
     from .runtime import SmockRuntime
 
 __all__ = ["LookupService", "ServiceRegistration", "LookupError", "DEFAULT_PROXY_CODE_BYTES"]
 
 DEFAULT_PROXY_CODE_BYTES = 60_000
+
+log = get_logger("smock.lookup")
 
 
 class LookupError(KeyError):
@@ -35,6 +52,11 @@ class ServiceRegistration:
     name: str
     attributes: Dict[str, Any] = field(default_factory=dict)
     proxy_code_bytes: int = DEFAULT_PROXY_CODE_BYTES
+    #: node the service's renewals originate from (its generic-server
+    #: host); ``None`` for registrations predating the lease machinery.
+    home_node: Optional[str] = None
+    #: lease state at the replica holding this entry; ``None`` = immortal.
+    lease: Optional["Lease"] = None
 
     def matches(self, query: Dict[str, Any]) -> bool:
         return all(self.attributes.get(k) == v for k, v in query.items())
@@ -48,21 +70,180 @@ class LookupService:
         self.host_node = host_node
         self._registry: Dict[str, ServiceRegistration] = {}
         self.lookups = 0
+        self.reregistrations = 0
+        #: set by the cluster (or a test) to enable leased registrations;
+        #: ``None`` keeps the immortal-entry behaviour byte for byte.
+        self.lease_config: Optional["LeaseConfig"] = None
 
+    # -- registration ------------------------------------------------------------
     def register(
         self,
         name: str,
         attributes: Optional[Dict[str, Any]] = None,
         proxy_code_bytes: int = DEFAULT_PROXY_CODE_BYTES,
+        *,
+        home_node: Optional[str] = None,
     ) -> ServiceRegistration:
-        """Step 1 of Figure 1: the service registers its proxy."""
-        reg = ServiceRegistration(name, dict(attributes or {}), proxy_code_bytes)
+        """Step 1 of Figure 1: the service registers its proxy.
+
+        Registering an already-registered name renews it in place (the
+        registration object is preserved so live proxies stay valid)
+        rather than clobbering it; the duplicate is counted and logged.
+        """
+        existing = self._registry.get(name)
+        if existing is not None:
+            existing.attributes = dict(attributes or {})
+            existing.proxy_code_bytes = proxy_code_bytes
+            if home_node is not None:
+                existing.home_node = home_node
+            if existing.lease is not None:
+                existing.lease.renew(self.runtime.sim.now)
+            elif self.lease_config is not None:
+                existing.lease = self._grant_lease()
+            self.reregistrations += 1
+            self.runtime.obs.metrics.inc("smock.lookup.reregistrations")
+            log.warning(
+                "re-registration of %r treated as lease renewal",
+                name,
+                extra={
+                    "fields": {
+                        "service": name,
+                        "host": self.host_node,
+                        "reregistrations": self.reregistrations,
+                        "sim_ms": self.runtime.sim.now,
+                    }
+                },
+            )
+            return existing
+        reg = ServiceRegistration(
+            name, dict(attributes or {}), proxy_code_bytes, home_node=home_node
+        )
+        if self.lease_config is not None:
+            reg.lease = self._grant_lease()
         self._registry[name] = reg
         return reg
 
-    def find(self, query: Dict[str, Any]) -> List[ServiceRegistration]:
+    def absorb(
+        self,
+        name: str,
+        attributes: Optional[Dict[str, Any]],
+        proxy_code_bytes: Optional[int],
+        home_node: str,
+        now_ms: float,
+        witness_crashes: int = 0,
+    ) -> bool:
+        """Gossip path: create-or-renew silently (no counter, no warning).
+
+        One application-level ``register()`` fans out to every replica;
+        only the primary applies the duplicate-detection semantics, the
+        rest converge through here.  Returns ``True`` when the entry was
+        (re-)created — i.e. the replica had purged it — so the cluster
+        can report a service coming *back* after a lapse.
+        """
+        reg = self._registry.get(name)
+        if reg is not None and reg.lease is not None and reg.lease.expired(now_ms):
+            del self._registry[name]
+            reg = None
+        if reg is None:
+            reg = ServiceRegistration(
+                name,
+                dict(attributes or {}),
+                proxy_code_bytes if proxy_code_bytes is not None else DEFAULT_PROXY_CODE_BYTES,
+                home_node=home_node,
+            )
+            if self.lease_config is not None:
+                reg.lease = self._grant_lease(witness_crashes)
+            self._registry[name] = reg
+            return True
+        if attributes is not None:
+            reg.attributes = dict(attributes)
+        if proxy_code_bytes is not None:
+            reg.proxy_code_bytes = proxy_code_bytes
+        reg.home_node = home_node
+        if reg.lease is not None:
+            reg.lease.renew(now_ms, witness_crashes=witness_crashes)
+        elif self.lease_config is not None:
+            reg.lease = self._grant_lease(witness_crashes)
+        return False
+
+    def _grant_lease(self, witness_crashes: int = 0) -> "Lease":
+        from .leases import Lease
+
+        assert self.lease_config is not None
+        return Lease.grant(
+            self.runtime.sim.now, self.lease_config.duration_ms, witness_crashes
+        )
+
+    def purge_expired(
+        self, now_ms: float, host_crashes: Optional[int] = None
+    ) -> List[Tuple[str, bool]]:
+        """Drop expired entries; return ``(name, witnessed)`` per purge.
+
+        ``witnessed`` is ``True`` only when this replica's host stayed up
+        since the lease was last renewed (``host_crashes`` unchanged) —
+        the precondition for treating the expiry as evidence the
+        *service* died rather than an artifact of our own downtime.
+        """
+        purged: List[Tuple[str, bool]] = []
+        for name in sorted(self._registry):
+            reg = self._registry[name]
+            if reg.lease is None or not reg.lease.expired(now_ms):
+                continue
+            witnessed = (
+                host_crashes is None or host_crashes == reg.lease.witness_crashes
+            )
+            del self._registry[name]
+            self.runtime.obs.metrics.inc("smock.lookup.lease_expiries")
+            log.warning(
+                "lease expired for %r; registration purged",
+                name,
+                extra={
+                    "fields": {
+                        "service": name,
+                        "host": self.host_node,
+                        "expired_at_ms": reg.lease.expires_at_ms,
+                        "witnessed": witnessed,
+                        "sim_ms": now_ms,
+                    }
+                },
+            )
+            purged.append((name, witnessed))
+        return purged
+
+    # -- queries -----------------------------------------------------------------
+    def find(
+        self, query: Dict[str, Any], now_ms: Optional[float] = None
+    ) -> List[ServiceRegistration]:
         """All registrations whose attributes are a superset of ``query``."""
-        return [r for r in self._registry.values() if r.matches(query)]
+        live = self._registry.values()
+        if now_ms is not None:
+            live = [
+                r for r in live if r.lease is None or not r.lease.expired(now_ms)
+            ]
+        return [r for r in live if r.matches(query)]
+
+    def resolve(
+        self, name: Optional[str] = None, query: Optional[Dict[str, Any]] = None
+    ) -> ServiceRegistration:
+        """Registry resolution only — no metrics, no proxy download.
+
+        Raises :class:`LookupError` when nothing (live) matches; an
+        expired entry is purged on the way out, exactly as if the sweep
+        had already run.
+        """
+        now = self.runtime.sim.now
+        if name is not None:
+            reg = self._registry.get(name)
+            if reg is not None and reg.lease is not None and reg.lease.expired(now):
+                del self._registry[name]
+                reg = None
+            if reg is None:
+                raise LookupError(f"no service registered as {name!r}")
+            return reg
+        matches = self.find(query or {}, now_ms=now if self.lease_config else None)
+        if not matches:
+            raise LookupError(f"no service matches {query!r}")
+        return matches[0]
 
     def lookup(
         self, client_node: str, name: Optional[str] = None, query: Optional[Dict[str, Any]] = None
@@ -76,15 +257,7 @@ class LookupService:
 
         self.lookups += 1
         self.runtime.obs.metrics.inc("smock.lookups")
-        if name is not None:
-            reg = self._registry.get(name)
-            if reg is None:
-                raise LookupError(f"no service registered as {name!r}")
-        else:
-            matches = self.find(query or {})
-            if not matches:
-                raise LookupError(f"no service matches {query!r}")
-            reg = matches[0]
+        reg = self.resolve(name=name, query=query)
         # Download the proxy code from the lookup host.
         yield from self.runtime.transport.deliver(
             self.host_node, client_node, reg.proxy_code_bytes

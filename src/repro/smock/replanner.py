@@ -176,6 +176,24 @@ class ReplanManager:
         if autonomic is not None:
             autonomic.on_round_start(trigger)
 
+        # Control-plane takeover: the coherence directory's own host
+        # died.  Rebuild the directory from its journal on a surviving
+        # node *before* reconciling, so the rest of the round —
+        # report_lost, retirement flushes, anti-entropy — runs against
+        # the successor.  Ground truth (is the directory host down *now*)
+        # rather than the trigger event: the round's trigger is only the
+        # first event of a detection burst, and the directory host's
+        # death may arrive debounced behind a sibling event.  Requires
+        # the ``directory_host`` + ``directory_journal`` knobs; without
+        # them a directory-host death is an ordinary node death.
+        directory_host = getattr(runtime, "directory_host", None)
+        if (
+            directory_host is not None
+            and getattr(bundle.coherence, "journal", None) is not None
+            and not runtime.transport.node(directory_host).up
+        ):
+            self._takeover_directory(directory_host)
+
         # Failover preamble: drop dead-host instances from the runtime's
         # registries before planning, so the planner state seeded below
         # reflects reality and retirement never routes traffic to them.
@@ -355,6 +373,58 @@ class ReplanManager:
             metrics = self.runtime.obs.metrics
             if metrics.enabled and reports:
                 metrics.inc("coherence.reconcile.passes")
+
+    # -- directory takeover -------------------------------------------------------
+    def _takeover_directory(self, crashed_host: str) -> None:
+        """Move the coherence directory to a surviving host.
+
+        The successor rebuilds registrations, per-store version-vector
+        frontiers, and outstanding anti-entropy stashes from the
+        append-only journal (see :func:`repro.coherence.journal.
+        recover_directory`); surviving replicas re-report their volatile
+        flush state.  The swap is transparent to components — they reach
+        the directory through ``bundle.coherence`` on every access — and
+        the same round's anti-entropy re-drives any recovered stashes.
+        """
+        from ..coherence.journal import recover_directory
+
+        runtime = self.runtime
+        bundle = self.bundle
+        old = bundle.coherence
+        new_host = self._elect_directory_host(exclude=crashed_host)
+        recovered, report = recover_directory(old.journal, old, runtime.sim.now)
+        old.journal.recoveries += 1
+        bundle.coherence = recovered
+        runtime.directory_host = new_host
+        runtime.directory_takeovers.append(
+            {
+                "time_ms": runtime.sim.now,
+                "crashed_host": crashed_host,
+                "new_host": new_host,
+                "report": report,
+            }
+        )
+        metrics = runtime.obs.metrics
+        metrics.inc("failover.directory_takeovers")
+        crashed_at = getattr(
+            runtime.transport.node(crashed_host), "crashed_at_ms", None
+        )
+        if crashed_at is not None:
+            metrics.observe(
+                "failover.directory_mttr_ms", runtime.sim.now - crashed_at
+            )
+
+    def _elect_directory_host(self, exclude: str) -> str:
+        """Deterministic successor: the (durable) generic-server host if
+        alive, else the first live node in name order."""
+        runtime = self.runtime
+        candidates = [runtime.server_node] + sorted(
+            node.name for node in runtime.network.nodes()
+        )
+        for name in candidates:
+            if name != exclude and runtime.transport.node(name).up:
+                return name
+        return runtime.server_node  # nothing is up; park on the primary
 
     # -- failover reconciliation -------------------------------------------------
     def _reconcile_failed_instances(self, event: ReplanEvent) -> None:

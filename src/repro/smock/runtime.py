@@ -85,6 +85,11 @@ class SmockRuntime:
         overload_protection: Any = False,
         autonomic: Any = False,
         parallel: Any = False,
+        lookup_replicas: int = 1,
+        lookup_hosts: Optional[List[str]] = None,
+        lookup_leases: Any = False,
+        directory_journal: bool = False,
+        directory_host: Optional[str] = None,
     ) -> None:
         self.network = network
         self.obs = resolve_obs(obs)
@@ -141,10 +146,41 @@ class SmockRuntime:
         )
         first_node = next(iter(network.nodes())).name
         self.lookup_node = lookup_node or first_node
+        if lookup_hosts:
+            self.lookup_node = lookup_hosts[0]
         self.server_node = server_node or self.lookup_node
         self.code_base_node = code_base_node or self.server_node
 
-        self.lookup = LookupService(self, self.lookup_node)
+        #: control-plane availability knobs (see ARCHITECTURE.md
+        #: "control-plane availability").  The defaults construct the
+        #: plain singleton :class:`LookupService` and an unjournaled
+        #: directory — byte-identical to a runtime predating the
+        #: feature (pinned by tests/integration/
+        #: test_control_plane_identity.py).
+        self.lookup_replicas = max(1, int(lookup_replicas))
+        if lookup_hosts:
+            self.lookup_replicas = max(self.lookup_replicas, len(lookup_hosts))
+        self.directory_journal = bool(directory_journal)
+        self.directory_host = directory_host
+        if directory_host is not None:
+            self.transport.node(directory_host)  # raises for unknown nodes
+        #: directory-takeover audit trail appended by the ReplanManager
+        #: (crashed host, new host, recovery report) — read by the chaos
+        #: invariants.
+        self.directory_takeovers: List[Dict[str, Any]] = []
+        if self.lookup_replicas > 1 or lookup_leases:
+            from .leases import LeaseConfig, ReplicatedLookup
+
+            hosts = (
+                list(lookup_hosts)
+                if lookup_hosts
+                else self._default_lookup_hosts(self.lookup_replicas)
+            )
+            self.lookup: Any = ReplicatedLookup(
+                self, hosts, LeaseConfig.coerce(lookup_leases)
+            )
+        else:
+            self.lookup = LookupService(self, self.lookup_node)
         self.deployer = Deployer(self)
         self.wrappers: Dict[str, NodeWrapper] = {
             name: NodeWrapper(self, node)
@@ -211,6 +247,17 @@ class SmockRuntime:
 
             self.autonomic = AutonomicManager(self, autonomic_config).attach()
 
+    def _default_lookup_hosts(self, n: int) -> List[str]:
+        """Primary lookup host plus the next distinct nodes in network
+        order — deterministic, and capped by the topology size."""
+        hosts = [self.lookup_node]
+        for node in self.network.nodes():
+            if len(hosts) >= n:
+                break
+            if node.name not in hosts:
+                hosts.append(node.name)
+        return hosts
+
     # -- bundle plumbing ---------------------------------------------------------
     def _make_bundle(
         self,
@@ -238,12 +285,21 @@ class SmockRuntime:
                 conflict_map, obs=self.obs,
                 batch_propagation=self.batch_coherence,
                 versioned=self.versioned_coherence,
+                journal=self._make_journal(),
             ),
             code_base_node=code_base_node,
             view_policy=view_policy or (lambda view, instance: NeverPolicy()),
         )
         bundle.server = GenericServer(self, server_node, planning_work, bundle=bundle)
         return bundle
+
+    def _make_journal(self) -> Optional[Any]:
+        """A fresh per-bundle directory journal when the knob is on."""
+        if not self.directory_journal:
+            return None
+        from ..coherence.journal import DirectoryJournal
+
+        return DirectoryJournal()
 
     @property
     def primary(self) -> ServiceBundle:
@@ -322,7 +378,10 @@ class SmockRuntime:
         self._primary.name = name
         self._primary.default_interface = default_interface
         self._bundles[name] = self._primary
-        self.lookup.register(name, attributes, proxy_code_bytes)
+        self.lookup.register(
+            name, attributes, proxy_code_bytes,
+            home_node=self._primary.server.host_node,
+        )
         return self._primary
 
     def add_service(
@@ -369,7 +428,9 @@ class SmockRuntime:
             spec.unit(unit_name)
             bundle.component_classes[unit_name] = cls
         self._bundles[name] = bundle
-        self.lookup.register(name, attributes, proxy_code_bytes)
+        self.lookup.register(
+            name, attributes, proxy_code_bytes, home_node=bundle.server.host_node
+        )
         return bundle
 
     def default_interface(self, service_name: str) -> str:
@@ -541,7 +602,30 @@ class SmockRuntime:
         self.monitor = monitor
         self.failure_detector = detector
         self.replanner = replanner
+        if hasattr(self.lookup, "on_lease_event"):
+            # Lease lapses become monitor events: a service that stops
+            # renewing triggers a replan/rebind round through the same
+            # pipeline as heartbeat-detected node death (the monitor
+            # dedups, so the two channels never double-fire a round).
+            self.lookup.on_lease_event = self._report_lease_event
         return replanner
+
+    def _report_lease_event(self, name: str, alive: bool) -> None:
+        monitor = getattr(self, "monitor", None)
+        if monitor is None:
+            return
+        from ..network.monitor import ChangeEvent
+
+        monitor.report(
+            ChangeEvent(
+                time_ms=self.sim.now,
+                kind="service",
+                subject=name,
+                attribute="lease",
+                old=(not alive),
+                new=alive,
+            )
+        )
 
     # -- convenience ---------------------------------------------------------------
     def run(self, generator: Generator, name: str = "runtime-task") -> Any:

@@ -1,0 +1,125 @@
+"""Control-plane chaos: scripted brain crashes, failover, recovery.
+
+Plan-level tests pin the ``control_plane_hosts`` contract of
+:func:`~repro.chaos.plangen.generate_fault_plan`; the end-to-end case
+runs one full ``crash_control_plane`` chaos experiment — lookup primary
+and directory host both die mid-run — and requires every invariant
+(including lookup failover and journal-driven directory recovery) to
+hold.
+"""
+
+import pytest
+
+from repro.chaos.harness import ChaosCaseConfig, run_chaos_case
+from repro.chaos.plangen import generate_fault_plan
+from repro.experiments.topology_fig5 import build_fig5_network
+from repro.faults import FaultKind
+
+CP_HOSTS = ["sandiego-gw", "seattle-gw"]
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return build_fig5_network()
+
+
+def test_scripted_hosts_get_exactly_one_crash_restart_pair(topology):
+    for seed in range(10):
+        plan = generate_fault_plan(
+            seed, topology, n_faults=3, control_plane_hosts=CP_HOSTS
+        )
+        plan.validate()
+        for host in CP_HOSTS:
+            crashes = [
+                a for a in plan.sorted_actions()
+                if a.kind == FaultKind.CRASH and a.node == host
+            ]
+            restarts = [
+                a for a in plan.sorted_actions()
+                if a.kind == FaultKind.RESTART and a.node == host
+            ]
+            assert len(crashes) == 1, f"seed {seed}: {host}"
+            assert len(restarts) == 1, f"seed {seed}: {host}"
+            assert crashes[0].at_ms < restarts[0].at_ms
+
+
+def test_scripted_windows_never_overlap_each_other(topology):
+    for seed in range(10):
+        plan = generate_fault_plan(
+            seed, topology, n_faults=3, control_plane_hosts=CP_HOSTS
+        )
+        windows = {}
+        for host in CP_HOSTS:
+            crash = next(
+                a for a in plan.sorted_actions()
+                if a.kind == FaultKind.CRASH and a.node == host
+            )
+            restart = next(
+                a for a in plan.sorted_actions()
+                if a.kind == FaultKind.RESTART and a.node == host
+            )
+            windows[host] = (crash.at_ms, restart.at_ms)
+        (s1, e1), (s2, e2) = windows[CP_HOSTS[0]], windows[CP_HOSTS[1]]
+        assert e1 <= s2 or e2 <= s1
+
+
+def test_random_crashes_avoid_control_plane_hosts(topology):
+    for seed in range(20):
+        plan = generate_fault_plan(
+            seed, topology, n_faults=6, control_plane_hosts=CP_HOSTS
+        )
+        for host in CP_HOSTS:
+            crashes = [
+                a for a in plan.sorted_actions()
+                if a.kind == FaultKind.CRASH and a.node == host
+            ]
+            assert len(crashes) == 1  # the scripted one only
+
+
+def test_no_control_plane_hosts_is_the_legacy_plan(topology):
+    """``control_plane_hosts=None`` draws the identical random plan."""
+    for seed in range(5):
+        legacy = generate_fault_plan(seed, topology, n_faults=4)
+        knobbed = generate_fault_plan(
+            seed, topology, n_faults=4, control_plane_hosts=None
+        )
+        assert legacy.describe() == knobbed.describe()
+
+
+def test_all_gateways_scripted_with_crash_only_menu_raises(topology):
+    """If every gateway is scripted there is no random crash target left;
+    a crash-only menu then has nothing to draw."""
+    every_gateway = ["sandiego-gw", "seattle-gw", "newyork-gw"]
+    with pytest.raises(ValueError):
+        generate_fault_plan(
+            0, topology, n_faults=2, kinds=[FaultKind.CRASH],
+            control_plane_hosts=every_gateway,
+        )
+    # With a wider menu the same scripting is fine: random draws just
+    # stop picking crashes.
+    plan = generate_fault_plan(
+        0, topology, n_faults=2, control_plane_hosts=every_gateway
+    )
+    plan.validate()
+    random_crashes = [
+        a for a in plan.sorted_actions()
+        if a.kind == FaultKind.CRASH and a.node not in every_gateway
+    ]
+    assert random_crashes == []
+
+
+def test_crash_control_plane_case_passes_all_invariants():
+    """One full seeded run that crashes the brain mid-flight."""
+    result = run_chaos_case(7, ChaosCaseConfig(crash_control_plane=True))
+    assert result.finished
+    assert result.violations == []
+    cp = result.control_plane
+    assert cp is not None
+    assert cp["failovers"] >= 1
+    assert all(ok for _site, _node, ok, _t, _n in cp["reconnects"])
+    assert len(cp["takeovers"]) == 1
+    _t, crashed, new_host, _rebuilt, mismatches = cp["takeovers"][0]
+    assert crashed == "seattle-gw"
+    assert new_host != "seattle-gw"
+    assert mismatches == 0
+    assert cp["journal_recoveries"] == 1

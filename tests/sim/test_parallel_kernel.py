@@ -13,12 +13,15 @@ Three layers of assurance:
    paper (think + serialization + latency per hop).
 """
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.experiments.topology_fig5 import build_fig5_network
 from repro.network import Network
 from repro.sim import Injected, SimulationError, Simulator
 from repro.sim.parallel import TrafficConfig, run_parallel, site_traffic_program
+from repro.sim.parallel.worker import InlineRouter, drive
 
 
 # -- engine tiebreaker ----------------------------------------------------
@@ -179,3 +182,79 @@ def test_run_parallel_validates_arguments():
         run_parallel(net, noop, None, workers=1, until=0.0)
     with pytest.raises(SimulationError, match="workers"):
         run_parallel(net, noop, None, workers=0, until=100.0)
+
+
+# -- deadlock tripwire -----------------------------------------------------
+
+
+class _StuckLP:
+    """An LP that never advances, never finishes, and sends nothing —
+    the shape of a guarantee-algebra bug in inline mode."""
+
+    def __init__(self):
+        self.plan = SimpleNamespace(
+            partitions=[SimpleNamespace(name="newyork")],
+            out_neighbors=lambda rank: [],
+        )
+        self.sim = SimpleNamespace(now=123.0)
+
+    def advance(self):
+        return False
+
+    def take_outgoing(self):
+        return []
+
+    def take_advert(self):
+        return None
+
+    def done(self):
+        return False
+
+    def horizon(self):
+        return 456.0
+
+
+def test_deadlock_tripwire_names_stalled_partitions():
+    """A quiescent-but-undone inline drive must raise — and the error
+    must name the stuck partition and the knob that raises the limit."""
+    lps = {0: _StuckLP()}
+    with pytest.raises(SimulationError) as excinfo:
+        drive(lps, InlineRouter(lps), deadlock_timeout_s=1.0)
+    message = str(excinfo.value)
+    assert "parallel deadlock" in message
+    assert "newyork" in message
+    assert "123.0" in message and "456.0" in message
+    assert "deadlock_timeout_s" in message
+    assert "--deadlock-timeout" in message
+
+
+def test_run_parallel_forwards_deadlock_timeout():
+    """The knob plumbs through the public entry point: a healthy run
+    with a tiny tripwire still completes (progress resets the clock)."""
+    arrivals = []
+
+    def program(ctx, config):
+        def on_probe(c, msg):
+            if c.is_local(msg.dest):
+                arrivals.append((c.partition.name, c.sim.now))
+            else:
+                c.process(
+                    c.send_remote(msg.via, msg.dest, msg.size, "probe", msg.payload)
+                )
+
+        ctx.on_message("probe", on_probe)
+        if ctx.is_local("a-node"):
+
+            def sender():
+                yield ctx.sim.timeout(10.0)
+                yield from ctx.send_remote(
+                    "a-node", "c-node", 1_000, "probe", None
+                )
+
+            ctx.process(sender())
+
+    run_parallel(
+        _line_network(), program, None,
+        workers=1, until=2_000.0, deadlock_timeout_s=5.0,
+    )
+    assert [name for name, _t in arrivals] == ["C"]
